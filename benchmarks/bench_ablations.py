@@ -1,0 +1,197 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation prints a small table quantifying how one attack design knob
+moves the fidelity/detectability trade-off:
+
+* number of kept subcarriers (paper: 7);
+* optimized vs fixed constellation scale alpha;
+* QAM order used for quantization (paper: 64-QAM);
+* DSSS correlation threshold at the victim (paper: 10);
+* raw QAM injection vs codeword-constrained emulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import EmulationConfig, WaveformEmulationAttack, emulate_waveform
+from repro.attack.codeword import project_onto_codewords
+from repro.defense import CumulantDetector
+from repro.experiments.common import build_observed_waveform
+from repro.experiments.defense_common import defense_receiver
+from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return build_observed_waveform(b"ablation").waveform
+
+
+def _detect(receiver, waveform, detector):
+    packet = receiver.receive(waveform)
+    return packet, detector.statistic(
+        packet.diagnostics.psdu_quadrature_soft_chips
+    ).distance_squared if packet.decoded else float("inf")
+
+
+def test_bench_num_subcarriers(benchmark, capsys, observed):
+    """More kept subcarriers -> better fidelity but no stealth gain."""
+    receiver = defense_receiver()
+    detector = CumulantDetector()
+
+    def run():
+        rows = []
+        for kept in (3, 5, 7, 9, 15):
+            result = emulate_waveform(
+                observed, config=EmulationConfig(num_subcarriers=kept)
+            )
+            packet, de2 = _detect(receiver, result.waveform, detector)
+            rows.append((kept, result.emulation_error(),
+                         max(packet.diagnostics.hamming_distances), de2))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nablation: kept subcarriers (paper: 7)")
+        print(f"{'kept':>5} {'nmse':>9} {'maxHD':>6} {'DE2':>9}")
+        for kept, nmse, max_hd, de2 in rows:
+            print(f"{kept:>5} {nmse:>9.4f} {max_hd:>6} {de2:>9.4f}")
+    errors = {kept: nmse for kept, nmse, _, __ in rows}
+    # Fidelity improves monotonically up to the paper's 7 subcarriers;
+    # beyond that the single global alpha must also cover tiny out-of-band
+    # bins and the fit degrades again — the paper's choice is near-optimal.
+    assert errors[3] > errors[5] > errors[7]
+    assert errors[7] <= min(errors.values()) * 1.3
+
+
+def test_bench_alpha_choice(benchmark, capsys, observed):
+    """The optimized alpha beats fixed guesses, incl. the paper's sqrt(26)."""
+
+    def run():
+        rows = []
+        optimum = emulate_waveform(observed)
+        rows.append(("optimized", optimum.scale, optimum.emulation_error()))
+        for fixed in (optimum.scale / 2, np.sqrt(26.0) * 42**0.5, optimum.scale * 2):
+            result = emulate_waveform(
+                observed, config=EmulationConfig(scale=float(fixed))
+            )
+            rows.append((f"fixed {fixed:.1f}", float(fixed),
+                         result.emulation_error()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nablation: constellation scale alpha")
+        print(f"{'choice':>15} {'alpha':>8} {'nmse':>9}")
+        for name, alpha, nmse in rows:
+            print(f"{name:>15} {alpha:>8.2f} {nmse:>9.4f}")
+    best = rows[0][2]
+    assert all(best <= nmse + 1e-12 for _, __, nmse in rows)
+
+
+def test_bench_qam_order(benchmark, capsys, observed):
+    """Finer constellations quantize with less error (64-QAM suffices)."""
+
+    def run():
+        rows = []
+        for name in ("qpsk", "16qam", "64qam"):
+            result = emulate_waveform(
+                observed, config=EmulationConfig(modulation_name=name)
+            )
+            rows.append((name, result.emulation_error()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nablation: quantization constellation")
+        print(f"{'modulation':>11} {'nmse':>9}")
+        for name, nmse in rows:
+            print(f"{name:>11} {nmse:>9.4f}")
+    errors = [nmse for _, nmse in rows]
+    assert errors == sorted(errors, reverse=True)
+
+
+def test_bench_dsss_threshold(benchmark, capsys, observed):
+    """The victim's chip threshold gates the attack (paper: 10 works)."""
+    attack = WaveformEmulationAttack()
+    emulation = attack.emulate(observed)
+    on_air = attack.transmit_waveform(emulation)
+
+    def run():
+        rows = []
+        for threshold in (1, 2, 3, 5, 10, 16):
+            receiver = ZigBeeReceiver(
+                ReceiverConfig(correlation_threshold=threshold)
+            )
+            packet = receiver.receive(on_air)
+            rows.append((threshold, packet.decoded and packet.fcs_ok))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nablation: DSSS correlation threshold at the victim")
+        print(f"{'threshold':>10} {'attack delivers':>16}")
+        for threshold, delivered in rows:
+            print(f"{threshold:>10} {str(delivered):>16}")
+    outcomes = dict(rows)
+    assert outcomes[10] is True      # the paper's threshold admits the attack
+    assert outcomes[1] is False      # a strict receiver would reject it
+
+
+def test_bench_carrier_offset(benchmark, capsys, observed):
+    """RF-mode carrier allocation only works at offsets whose shifted
+    subcarriers land on data positions (Sec. V-A4's -16 example)."""
+    from repro.attack.allocation import allocate_rf_data_points
+    from repro.errors import EmulationError
+    import numpy as np
+
+    indexes = np.array([0, 1, 2, 3, 61, 62, 63])
+    points = np.ones(7, dtype=complex)
+
+    def run():
+        rows = []
+        for offset in range(-24, -7):
+            try:
+                allocate_rf_data_points(
+                    indexes, points, rng=0, offset_subcarriers=offset
+                )
+                feasible = True
+            except EmulationError:
+                feasible = False
+            rows.append((offset, feasible))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nablation: attacker centre-frequency offset (subcarriers)")
+        feasible = [str(offset) for offset, ok in rows if ok]
+        infeasible = [str(offset) for offset, ok in rows if not ok]
+        print(f"  feasible offsets:   {', '.join(feasible)}")
+        print(f"  infeasible offsets: {', '.join(infeasible)} "
+              f"(shifted bins hit pilots/nulls/guard)")
+    outcome = dict(rows)
+    assert outcome[-16] is True           # the paper's layout works
+    # Offsets that push any shifted bin onto the -21 pilot or beyond the
+    # -26 edge must fail.
+    assert outcome[-18] is False
+    assert outcome[-24] is False
+
+
+def test_bench_codeword_constraint(benchmark, capsys, observed):
+    """Standards compliance costs the attacker extra distortion."""
+
+    def run():
+        result = emulate_waveform(observed)
+        points = result.quantization.constellation_points
+        whole = (points.size // 48) * 48
+        projection = project_onto_codewords(points[:whole], rate_mbps=54)
+        return result, projection
+
+    result, projection = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nablation: raw QAM injection vs codeword-constrained")
+        print(f"  point agreement after projection: "
+              f"{projection.point_agreement:.1%}")
+        print(f"  extra squared error: {projection.extra_distortion:.2f}")
+    assert 0.0 < projection.point_agreement <= 1.0

@@ -1,0 +1,19 @@
+"""Extension benchmark: which defense variant should be deployed?"""
+
+from repro.experiments import detector_matrix
+
+
+def test_bench_detector_matrix(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: detector_matrix.run(waveforms_per_cell=8, rng=3),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    margins = dict(
+        zip((v.name for v in detector_matrix.STANDARD_VARIANTS),
+            result.series["margins"])
+    )
+    # The noise-corrected matched-filter |C40| variant must separate all
+    # scenarios with one threshold, and by the widest margin.
+    assert margins["mf/|C40|/nc"] > 1.0
+    assert margins["mf/|C40|/nc"] >= max(margins.values()) - 1e-9

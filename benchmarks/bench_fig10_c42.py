@@ -1,0 +1,15 @@
+"""Fig. 10 benchmark: C42 vs SNR for both waveform classes."""
+
+from repro.experiments import fig10_c42
+
+
+def test_bench_fig10(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig10_c42.run(waveforms_per_point=8, rng=0),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    zigbee = result.series["zigbee"]
+    emulated = result.series["emulated"]
+    assert abs(zigbee[-1] + 1) < 0.05
+    assert abs(emulated[-1] + 1) > 2 * abs(zigbee[-1] + 1)

@@ -1,0 +1,13 @@
+"""Fig. 11 benchmark: C40 vs SNR for both waveform classes."""
+
+from repro.experiments import fig11_c40
+
+
+def test_bench_fig11(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig11_c40.run(waveforms_per_point=8, rng=0),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    assert result.series["zigbee"][-1] > 0.95
+    assert result.series["emulated"][-1] < 0.9

@@ -1,0 +1,14 @@
+"""Fig. 12 benchmark: calibrated threshold classification."""
+
+from repro.experiments import fig12_defense
+
+
+def test_bench_fig12(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig12_defense.run(train_per_class=15, test_per_class=15, rng=0),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        assert row["false_alarm_rate"] == 0.0
+        assert row["miss_rate"] == 0.0

@@ -1,0 +1,15 @@
+"""Fig. 13 (table) benchmark: RSSI vs distance."""
+
+from repro.experiments import fig13_rssi
+
+
+def test_bench_fig13(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig13_rssi.run(packets_per_point=5, rng=0),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    budget = [row["budget_rssi_dbm"] for row in result.rows]
+    assert budget == sorted(budget, reverse=True)  # monotone decay
+    # ~20 dB drop from 1 m to 8 m at exponent 2.
+    assert 12 < budget[0] - budget[-1] < 30

@@ -1,0 +1,22 @@
+"""Fig. 14 benchmark: error rates vs distance per receiver profile."""
+
+from repro.experiments import fig14_error_rates
+
+
+def test_bench_fig14(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig14_error_rates.run(trials=8, rng=0), rounds=1, iterations=1
+    )
+    report(result)
+
+    def per(distance, receiver, waveform):
+        for row in result.rows:
+            if (row["distance_m"], row["receiver"], row["waveform"]) == (
+                distance, receiver, waveform,
+            ):
+                return row["packet_error_rate"]
+        raise AssertionError("missing cell")
+
+    # USRP degrades with distance; the commodity chip holds out (Fig. 14b).
+    assert per(8, "usrp", "emulated") > per(1, "usrp", "emulated")
+    assert per(8, "cc26x2", "original") <= 0.25

@@ -1,0 +1,12 @@
+"""Fig. 5 benchmark: original vs emulated waveform fidelity."""
+
+from repro.experiments import fig5_waveform_comparison
+
+
+def test_bench_fig5(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig5_waveform_comparison.run(rng=0), rounds=3, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        assert row["correlation_body"] > 0.9

@@ -1,0 +1,12 @@
+"""Fig. 6 benchmark: reconstructed constellations, AWGN vs real."""
+
+from repro.experiments import fig6_constellation
+
+
+def test_bench_fig6(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig6_constellation.run(rng=0), rounds=3, iterations=1
+    )
+    report(result)
+    awgn_row, real_row = result.rows
+    assert abs(real_row["phase_offset_deg"]) > abs(awgn_row["phase_offset_deg"])

@@ -1,0 +1,12 @@
+"""Fig. 7 benchmark: Hamming distance distributions."""
+
+from repro.experiments import fig7_hamming
+
+
+def test_bench_fig7(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig7_hamming.run(num_packets=8, rng=0), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.series["original"][0] > 0.99
+    assert result.series["emulated"][2:10].sum() > 0.95

@@ -1,0 +1,12 @@
+"""Fig. 8 benchmark: the cyclic-prefix baseline fails at the receiver."""
+
+from repro.experiments import fig8_cp_repetition
+
+
+def test_bench_fig8(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig8_cp_repetition.run(rng=0), rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row["waveform"]: row for row in result.rows}
+    assert rows["emulated"]["cp_correlation_pristine"] > 0.95

@@ -1,0 +1,12 @@
+"""Fig. 9 benchmark: phase-trajectory and chip-sequence baselines fail."""
+
+from repro.experiments import fig9_possible_strategies
+
+
+def test_bench_fig9(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig9_possible_strategies.run(rng=0), rounds=1, iterations=1
+    )
+    report(result)
+    rows = {row["metric"]: row for row in result.rows}
+    assert rows["decoded_symbol_agreement"]["original"] == 1.0

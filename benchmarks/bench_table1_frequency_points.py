@@ -1,0 +1,13 @@
+"""Table I benchmark: FFT magnitude table and subcarrier selection."""
+
+from repro.experiments import table1_frequency_points
+
+
+def test_bench_table1(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table1_frequency_points.run(rng=0), rounds=3, iterations=1
+    )
+    report(result)
+    assert tuple(result.series["selected_bins"].astype(int)) == (
+        0, 1, 2, 3, 61, 62, 63,
+    )

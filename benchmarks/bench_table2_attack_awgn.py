@@ -1,0 +1,14 @@
+"""Table II benchmark: attack success rate vs SNR under AWGN."""
+
+from repro.experiments import table2_attack_awgn
+
+
+def test_bench_table2(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table2_attack_awgn.run(trials=60, rng=0),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rates = [row["success_rate"] for row in result.rows]
+    assert rates[-1] == 1.0          # saturates at high SNR, like the paper
+    assert rates[0] < rates[-1]      # ramps up from 7 dB

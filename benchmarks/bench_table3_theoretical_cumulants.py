@@ -1,0 +1,14 @@
+"""Table III benchmark: theoretical cumulants and AMC classification."""
+
+from repro.experiments import table3_theoretical_cumulants
+
+
+def test_bench_table3(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table3_theoretical_cumulants.run(sample_count=20000, rng=0),
+        rounds=3, iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        assert abs(row["C40"] - row["paper_C40"]) < 1e-3
+        assert abs(row["C42"] - row["paper_C42"]) < 1e-3

@@ -1,0 +1,13 @@
+"""Table IV benchmark: averaged D_E^2 vs SNR for both classes."""
+
+from repro.experiments import table4_de2_snr
+
+
+def test_bench_table4(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table4_de2_snr.run(waveforms_per_point=30, rng=0),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        assert row["separation_factor"] > 10

@@ -1,0 +1,13 @@
+"""Table V benchmark: averaged D_E^2 vs distance in the real environment."""
+
+from repro.experiments import table5_de2_distance
+
+
+def test_bench_table5(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table5_de2_distance.run(waveforms_per_point=15, rng=0),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        assert row["emulated_de2"] > 3 * row["zigbee_de2"]

@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every ``bench_<artifact>`` module regenerates one table or figure of the
+paper and prints it (so ``pytest benchmarks/ --benchmark-only`` doubles
+as the reproduction report), while pytest-benchmark times the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult outside of pytest's capture."""
+
+    def _report(result) -> None:
+        with capsys.disabled():
+            print()
+            print(result.format_table())
+
+    return _report

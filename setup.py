@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+``pip install -e .`` reads pyproject.toml; this file only exists so the
+editable install also works on minimal/offline toolchains where PEP 660
+builds are unavailable (``pip install -e . --no-build-isolation`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Hide and Seek: Waveform Emulation Attack and
+Defense in Cross-Technology Communication" (ICDCS 2019).
+
+The package implements, from scratch:
+
+* an IEEE 802.15.4 (ZigBee) O-QPSK PHY/MAC stack (:mod:`repro.zigbee`);
+* an IEEE 802.11g OFDM transmitter and reference receiver
+  (:mod:`repro.wifi`);
+* channel and hardware models substituting the paper's USRP/CC26x2R1
+  testbed (:mod:`repro.channel`, :mod:`repro.hardware`);
+* the CTC waveform emulation attack (:mod:`repro.attack`);
+* the constellation higher-order-statistics defense
+  (:mod:`repro.defense`);
+* end-to-end links and the per-table/figure experiment harness
+  (:mod:`repro.link`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.zigbee import ZigBeeTransmitter, ZigBeeReceiver
+    from repro.attack import WaveformEmulationAttack
+    from repro.defense import CumulantDetector
+
+    observed = ZigBeeTransmitter().transmit_payload(b"UNLOCK").waveform
+    emulated = WaveformEmulationAttack().emulate(observed).waveform
+    packet = ZigBeeReceiver().receive(emulated)          # decodes!
+    verdict = CumulantDetector().statistic(
+        packet.diagnostics.quadrature_soft_chips)        # ... but is caught
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    DetectionError,
+    EmulationError,
+    FcsError,
+    FramingError,
+    ReproError,
+    SynchronizationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DecodingError",
+    "DetectionError",
+    "EmulationError",
+    "FcsError",
+    "FramingError",
+    "ReproError",
+    "SynchronizationError",
+    "__version__",
+]

@@ -1,0 +1,90 @@
+"""The CTC waveform emulation attack (the paper's Sec. V)."""
+
+from repro.attack.allocation import (
+    RfAllocation,
+    allocate_baseband_bins,
+    allocate_rf_data_points,
+)
+from repro.attack.codeword import CodewordProjection, project_onto_codewords
+from repro.attack.emulator import (
+    EmulationConfig,
+    EmulationResult,
+    WaveformEmulationAttack,
+    emulate_waveform,
+)
+from repro.attack.interpolate import (
+    INTERPOLATION_FACTOR,
+    analysis_window,
+    chunk_spectrum,
+    segment_into_wifi_symbols,
+    spectrum_table,
+    to_wifi_rate,
+)
+from repro.attack.observation import (
+    ChannelListener,
+    ObservationResult,
+    observation_gain_db,
+)
+from repro.attack.planning import (
+    ChannelPlan,
+    WIFI_CHANNELS_HZ,
+    coverage_matrix,
+    feasible_custom_centers,
+    is_feasible,
+    offset_for,
+    plan_attack,
+)
+from repro.attack.quantize import (
+    QuantizationResult,
+    optimize_scale,
+    quantization_error,
+    quantize_points,
+)
+from repro.attack.selection import (
+    DEFAULT_COARSE_THRESHOLD,
+    DEFAULT_NUM_SUBCARRIERS,
+    SelectionResult,
+    coarse_highlight,
+    indexes_to_logical,
+    logical_to_indexes,
+    select_subcarriers,
+)
+
+__all__ = [
+    "ChannelListener",
+    "ChannelPlan",
+    "CodewordProjection",
+    "DEFAULT_COARSE_THRESHOLD",
+    "DEFAULT_NUM_SUBCARRIERS",
+    "EmulationConfig",
+    "EmulationResult",
+    "INTERPOLATION_FACTOR",
+    "ObservationResult",
+    "QuantizationResult",
+    "RfAllocation",
+    "SelectionResult",
+    "WIFI_CHANNELS_HZ",
+    "WaveformEmulationAttack",
+    "allocate_baseband_bins",
+    "allocate_rf_data_points",
+    "analysis_window",
+    "chunk_spectrum",
+    "coarse_highlight",
+    "coverage_matrix",
+    "emulate_waveform",
+    "feasible_custom_centers",
+    "indexes_to_logical",
+    "is_feasible",
+    "logical_to_indexes",
+    "observation_gain_db",
+    "offset_for",
+    "optimize_scale",
+    "plan_attack",
+    "project_onto_codewords",
+    "quantization_error",
+    "quantize_points",
+    "segment_into_wifi_symbols",
+    "select_subcarriers",
+    "spectrum_table",
+    "to_wifi_rate",
+]

@@ -1,0 +1,102 @@
+"""Codeword-constrained emulation (extension beyond the paper).
+
+The paper assumes the attacker "has obtained WiFi data bits" — i.e. that
+arbitrary QAM points can be transmitted.  A real 802.11g chain constrains
+the 48 points of every symbol to be the image of a scrambled, convolu-
+tionally coded, interleaved bit stream.  Following the WEBee approach,
+this module finds the *legal* frame closest to the desired points:
+
+1. hard-demap the desired points to coded bits,
+2. invert interleaving and puncturing,
+3. Viterbi-decode to the nearest information sequence,
+4. re-encode through the standard chain to obtain legal points.
+
+The Viterbi step projects onto the code, so some points flip; the result
+quantifies how much extra distortion standards compliance costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wifi.constants import NUM_DATA_SUBCARRIERS, RATES
+from repro.wifi.convcode import decode_with_rate, encode_with_rate
+from repro.wifi.interleaver import deinterleave, interleave
+from repro.wifi.qam import modulation_for_name
+from repro.wifi.scrambler import descramble
+
+
+@dataclass(frozen=True)
+class CodewordProjection:
+    """A desired point sequence projected onto the 802.11 code.
+
+    Attributes:
+        legal_points: nearest constellation points that a compliant
+            transmitter can actually emit.
+        psdu_bits: the (descrambled) data bits that generate them.
+        scrambled_bits: the information bits in the scrambled domain.
+        point_agreement: fraction of points unchanged by the projection.
+        extra_distortion: added squared error versus the desired points.
+    """
+
+    legal_points: np.ndarray
+    psdu_bits: np.ndarray
+    scrambled_bits: np.ndarray
+    point_agreement: float
+    extra_distortion: float
+
+
+def project_onto_codewords(
+    desired_points: np.ndarray,
+    rate_mbps: int = 54,
+    scrambler_seed: int = 0x5D,
+) -> CodewordProjection:
+    """Find the legal 802.11 frame whose points best match ``desired_points``.
+
+    Args:
+        desired_points: unit-scale constellation points, a multiple of 48.
+        rate_mbps: 802.11 rate whose modulation/coding applies.
+        scrambler_seed: transmitter scrambler seed (any non-zero value;
+            the attacker controls its own radio).
+    """
+    if rate_mbps not in RATES:
+        raise ConfigurationError(f"unsupported rate {rate_mbps}")
+    params = RATES[rate_mbps]
+    modulation = modulation_for_name(params.modulation)
+    points = np.asarray(desired_points, dtype=np.complex128)
+    if points.size == 0 or points.size % NUM_DATA_SUBCARRIERS != 0:
+        raise ConfigurationError(
+            f"need a multiple of {NUM_DATA_SUBCARRIERS} points, got {points.size}"
+        )
+    num_symbols = points.size // NUM_DATA_SUBCARRIERS
+    ndbps = params.data_bits_per_symbol
+
+    coded = modulation.demodulate(points)
+    deinterleaved = deinterleave(
+        coded,
+        coded_bits_per_symbol=params.coded_bits_per_symbol,
+        bits_per_subcarrier=params.bits_per_subcarrier,
+    )
+    scrambled = decode_with_rate(
+        deinterleaved, params.coding_rate, num_symbols * ndbps
+    )
+    legal_coded = encode_with_rate(scrambled, params.coding_rate)
+    legal_interleaved = interleave(
+        legal_coded,
+        coded_bits_per_symbol=params.coded_bits_per_symbol,
+        bits_per_subcarrier=params.bits_per_subcarrier,
+    )
+    legal_points = modulation.modulate(legal_interleaved)
+
+    agreement = float(np.mean(np.isclose(legal_points, points)))
+    extra = float(np.sum(np.abs(legal_points - points) ** 2))
+    return CodewordProjection(
+        legal_points=legal_points,
+        psdu_bits=descramble(scrambled, seed=scrambler_seed),
+        scrambled_bits=scrambled,
+        point_agreement=agreement,
+        extra_distortion=extra,
+    )

@@ -1,0 +1,96 @@
+"""Rate adaptation and segmentation for the emulation attack (Sec. V-B1).
+
+The observed ZigBee waveform (4 Msps) is interpolated by a factor of 5 to
+the WiFi attacker's 20 Msps, then cut into 80-sample chunks: one WiFi
+symbol duration (4 us) per quarter of a ZigBee symbol (16 us).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EmulationError
+from repro.utils.signal_ops import Waveform, fft_interpolate, polyphase_resample
+from repro.wifi.constants import CP_LENGTH, FFT_SIZE, SAMPLE_RATE_HZ, SYMBOL_LENGTH
+
+INTERPOLATION_FACTOR = 5
+
+
+def to_wifi_rate(waveform: Waveform, method: str = "fft") -> Waveform:
+    """Interpolate an observed ZigBee waveform to the WiFi sample rate.
+
+    Args:
+        waveform: observed baseband, typically 4 Msps.
+        method: ``"fft"`` for exact band-limited interpolation (the paper's
+            "interpolate with parameter 5"), ``"polyphase"`` for a causal
+            filter-bank alternative.
+    """
+    ratio = SAMPLE_RATE_HZ / waveform.sample_rate_hz
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ConfigurationError(
+            f"WiFi rate {SAMPLE_RATE_HZ} is not an integer multiple of "
+            f"{waveform.sample_rate_hz}"
+        )
+    factor = int(round(ratio))
+    if factor == 1:
+        return Waveform(waveform.samples.copy(), SAMPLE_RATE_HZ)
+    if method == "fft":
+        samples = fft_interpolate(waveform.samples, factor)
+    elif method == "polyphase":
+        samples = polyphase_resample(
+            waveform.samples, waveform.sample_rate_hz, SAMPLE_RATE_HZ
+        )
+    else:
+        raise ConfigurationError(f"unknown interpolation method {method!r}")
+    return Waveform(samples, SAMPLE_RATE_HZ)
+
+
+def segment_into_wifi_symbols(waveform: Waveform) -> np.ndarray:
+    """Cut a 20 Msps waveform into rows of one WiFi symbol (80 samples).
+
+    A trailing partial chunk is zero-padded: the attacker must emit whole
+    WiFi symbols.
+    """
+    if abs(waveform.sample_rate_hz - SAMPLE_RATE_HZ) > 1e-6:
+        raise ConfigurationError("segmentation expects a 20 Msps waveform")
+    samples = waveform.samples
+    if samples.size == 0:
+        raise EmulationError("cannot segment an empty waveform")
+    chunks = -(-samples.size // SYMBOL_LENGTH)
+    padded = np.zeros(chunks * SYMBOL_LENGTH, dtype=np.complex128)
+    padded[: samples.size] = samples
+    return padded.reshape(chunks, SYMBOL_LENGTH)
+
+
+def analysis_window(chunk: np.ndarray) -> np.ndarray:
+    """The last 64 samples of an 80-sample chunk — the FFT input.
+
+    The first 16 samples (0.8 us) are sacrificed to the cyclic prefix
+    (Sec. V-A1, "Cyclic Prefixing"): the attacker cannot reproduce them
+    and emulates only the remaining 3.2 us.
+    """
+    array = np.asarray(chunk, dtype=np.complex128)
+    if array.size != SYMBOL_LENGTH:
+        raise ConfigurationError(
+            f"chunk must be {SYMBOL_LENGTH} samples, got {array.size}"
+        )
+    return array[CP_LENGTH:]
+
+
+def chunk_spectrum(chunk: np.ndarray) -> np.ndarray:
+    """64-point FFT of a chunk's analysis window."""
+    return np.fft.fft(analysis_window(chunk))
+
+
+def spectrum_table(chunks: np.ndarray) -> np.ndarray:
+    """FFT of every chunk; rows are chunks, columns the 64 subcarriers.
+
+    The transpose of this magnitude table is what the paper prints as
+    Table I (frequency components per observed waveform).
+    """
+    array = np.asarray(chunks, dtype=np.complex128)
+    if array.ndim != 2 or array.shape[1] != SYMBOL_LENGTH:
+        raise ConfigurationError("chunks must be rows of 80 samples")
+    return np.fft.fft(array[:, CP_LENGTH:], n=FFT_SIZE, axis=1)

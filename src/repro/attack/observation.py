@@ -1,0 +1,106 @@
+"""Noisy channel listening (extension to Sec. IV-A).
+
+The paper assumes the attacker "knows the beginning of the received
+ZigBee time-domain waveform" and observes it cleanly.  A real
+eavesdropper records noisy captures; this module recovers a clean
+template by synchronizing each capture (timing, phase, CFO) against a
+reference and coherently averaging — noise drops by ~10·log10(K) dB over
+K observations while the deterministic waveform is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SynchronizationError
+from repro.utils.signal_ops import Waveform, normalize_power
+from repro.zigbee.synchronizer import Synchronizer, apply_corrections
+
+
+@dataclass(frozen=True)
+class ObservationResult:
+    """Outcome of averaging several noisy captures.
+
+    Attributes:
+        waveform: the coherently averaged (unit-power) estimate.
+        used: how many captures synchronized and entered the average.
+        discarded: captures that failed synchronization.
+    """
+
+    waveform: Waveform
+    used: int
+    discarded: int
+
+
+class ChannelListener:
+    """The attacker's capture-alignment and averaging stage.
+
+    Args:
+        synchronizer: ZigBee frame synchronizer used for alignment; its
+            native rate must match the captures'.
+        min_captures: the minimum aligned captures required.
+    """
+
+    def __init__(
+        self,
+        synchronizer: Optional[Synchronizer] = None,
+        min_captures: int = 1,
+    ):
+        if min_captures < 1:
+            raise ConfigurationError("min_captures must be >= 1")
+        self.synchronizer = synchronizer or Synchronizer()
+        self.min_captures = min_captures
+
+    def average(
+        self, captures: Sequence[Waveform], length: Optional[int] = None
+    ) -> ObservationResult:
+        """Align and coherently average noisy captures of one frame.
+
+        Args:
+            captures: noisy recordings (each containing the same frame).
+            length: samples to keep from each aligned capture; defaults
+                to the shortest aligned capture.
+        """
+        if not captures:
+            raise ConfigurationError("need at least one capture")
+        rate = captures[0].sample_rate_hz
+        aligned: List[np.ndarray] = []
+        discarded = 0
+        for capture in captures:
+            if abs(capture.sample_rate_hz - rate) > 1e-6:
+                raise ConfigurationError("captures must share a sample rate")
+            try:
+                sync = self.synchronizer.synchronize(capture)
+            except SynchronizationError:
+                discarded += 1
+                continue
+            aligned.append(apply_corrections(capture, sync, rate))
+        if len(aligned) < self.min_captures:
+            raise SynchronizationError(
+                f"only {len(aligned)} of {len(captures)} captures "
+                f"synchronized; need {self.min_captures}"
+            )
+        usable = min(a.size for a in aligned)
+        if length is not None:
+            if length > usable:
+                raise ConfigurationError(
+                    f"requested {length} samples but shortest capture has {usable}"
+                )
+            usable = length
+        stacked = np.stack([a[:usable] for a in aligned])
+        averaged = stacked.mean(axis=0)
+        return ObservationResult(
+            waveform=Waveform(normalize_power(averaged), rate),
+            used=len(aligned),
+            discarded=discarded,
+        )
+
+
+def observation_gain_db(num_captures: int) -> float:
+    """Theoretical SNR gain of coherent averaging over K captures."""
+    if num_captures < 1:
+        raise ConfigurationError("num_captures must be >= 1")
+    return float(10.0 * np.log10(num_captures))

@@ -1,0 +1,169 @@
+"""Cross-technology channel planning (generalizing Sec. V-A4).
+
+The paper works one example: ZigBee channel 17 (2435 MHz) inside a WiFi
+carrier at 2440 MHz, a -16-subcarrier offset that happens to land the
+ZigBee band on data subcarriers.  This module answers the general
+question an attacker faces: *given a target ZigBee channel, which WiFi
+centre frequencies allow the emulation at all?*  Feasibility requires
+every shifted subcarrier to be a data subcarrier (not a pilot, the DC
+null, or the guard band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attack.allocation import allocate_rf_data_points
+from repro.attack.selection import indexes_to_logical
+from repro.errors import ConfigurationError, EmulationError
+from repro.wifi.constants import SUBCARRIER_SPACING_HZ
+from repro.zigbee.constants import channel_center_frequency_hz
+
+#: 2.4 GHz WiFi channel centres (channels 1-13).
+WIFI_CHANNELS_HZ = {channel: 2412e6 + 5e6 * (channel - 1) for channel in range(1, 14)}
+
+#: The attack's canonical kept bins at the ZigBee centre.
+DEFAULT_KEPT_BINS = np.array([0, 1, 2, 3, 61, 62, 63])
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """One feasible attacker configuration.
+
+    Attributes:
+        zigbee_channel: target 802.15.4 channel (11-26).
+        wifi_channel: 802.11 channel the attacker transmits on, or
+            ``None`` when the centre frequency is non-standard.
+        wifi_center_hz: attacker centre frequency.
+        offset_subcarriers: subcarrier shift the allocation uses.
+        data_positions: positions in the 48-point grid carrying ZigBee.
+    """
+
+    zigbee_channel: int
+    wifi_channel: Optional[int]
+    wifi_center_hz: float
+    offset_subcarriers: int
+    data_positions: Tuple[int, ...]
+
+
+def offset_for(zigbee_channel: int, wifi_center_hz: float) -> int:
+    """Subcarrier offset placing the ZigBee band at the right IF.
+
+    The ZigBee-band content must sit at ``f_zigbee - f_wifi`` relative to
+    the WiFi centre; a non-integer subcarrier offset cannot be represented
+    by bin reallocation and is rejected.
+    """
+    zigbee_hz = channel_center_frequency_hz(zigbee_channel)
+    offset = (zigbee_hz - wifi_center_hz) / SUBCARRIER_SPACING_HZ
+    rounded = round(offset)
+    if abs(offset - rounded) > 1e-6:
+        raise ConfigurationError(
+            f"frequency offset {zigbee_hz - wifi_center_hz:.0f} Hz is not a "
+            "whole number of subcarriers"
+        )
+    return int(rounded)
+
+
+def is_feasible(
+    zigbee_channel: int,
+    wifi_center_hz: float,
+    kept_bins: Optional[Sequence[int]] = None,
+) -> Optional[ChannelPlan]:
+    """A :class:`ChannelPlan` when the allocation works, else ``None``."""
+    bins = np.asarray(
+        kept_bins if kept_bins is not None else DEFAULT_KEPT_BINS, dtype=np.int64
+    )
+    try:
+        offset = offset_for(zigbee_channel, wifi_center_hz)
+    except ConfigurationError:
+        return None
+    logical = indexes_to_logical(bins) + offset
+    if logical.min() < -32 or logical.max() > 31:
+        return None
+    try:
+        allocation = allocate_rf_data_points(
+            bins,
+            np.ones(bins.size, dtype=np.complex128),
+            filler=np.zeros(48, dtype=np.complex128),
+            offset_subcarriers=offset,
+        )
+    except (EmulationError, ConfigurationError):
+        return None
+    wifi_channel = next(
+        (number for number, hz in WIFI_CHANNELS_HZ.items()
+         if abs(hz - wifi_center_hz) < 1.0),
+        None,
+    )
+    return ChannelPlan(
+        zigbee_channel=zigbee_channel,
+        wifi_channel=wifi_channel,
+        wifi_center_hz=wifi_center_hz,
+        offset_subcarriers=offset,
+        data_positions=tuple(int(p) for p in allocation.zigbee_positions),
+    )
+
+
+def plan_attack(
+    zigbee_channel: int,
+    wifi_channels: Optional[Sequence[int]] = None,
+    kept_bins: Optional[Sequence[int]] = None,
+) -> List[ChannelPlan]:
+    """All standard WiFi channels from which ``zigbee_channel`` is attackable."""
+    if not 11 <= zigbee_channel <= 26:
+        raise ConfigurationError("ZigBee channels are 11-26")
+    candidates = wifi_channels if wifi_channels is not None else sorted(
+        WIFI_CHANNELS_HZ
+    )
+    plans = []
+    for wifi_channel in candidates:
+        if wifi_channel not in WIFI_CHANNELS_HZ:
+            raise ConfigurationError(f"unknown WiFi channel {wifi_channel}")
+        plan = is_feasible(
+            zigbee_channel, WIFI_CHANNELS_HZ[wifi_channel], kept_bins
+        )
+        if plan is not None:
+            plans.append(plan)
+    return plans
+
+
+def coverage_matrix() -> np.ndarray:
+    """Feasibility of every (ZigBee 11-26) x (WiFi 1-13) pair as 0/1.
+
+    Spoiler: all zeros.  ZigBee centres sit at 2405 + 5k MHz and WiFi
+    centres at 2412 + 5k MHz — a base offset of 7 MHz = 22.4 subcarriers,
+    never an integer — so the bin-reallocation attack cannot be mounted
+    from a *standard* WiFi channel at all.  The attacker needs a radio
+    with a tunable centre (the paper's USRP at the non-standard
+    2440 MHz), which is itself a deployment-relevant finding.
+    """
+    matrix = np.zeros((16, 13), dtype=np.int8)
+    for zigbee_index, zigbee_channel in enumerate(range(11, 27)):
+        for wifi_index, wifi_channel in enumerate(range(1, 14)):
+            plan = is_feasible(
+                zigbee_channel, WIFI_CHANNELS_HZ[wifi_channel]
+            )
+            matrix[zigbee_index, wifi_index] = 1 if plan else 0
+    return matrix
+
+
+def feasible_custom_centers(
+    zigbee_channel: int, kept_bins: Optional[Sequence[int]] = None
+) -> List[ChannelPlan]:
+    """All SDR centre frequencies from which the attack is feasible.
+
+    Sweeps every integer-subcarrier offset and keeps those whose shifted
+    bins land entirely on data subcarriers.  For the canonical 7-bin
+    selection this yields offsets -17..-11 and +11..+17, i.e. centres
+    roughly 3.4-5.3 MHz above or below the ZigBee channel.
+    """
+    zigbee_hz = channel_center_frequency_hz(zigbee_channel)
+    plans = []
+    for offset in range(-28, 29):
+        center_hz = zigbee_hz - offset * SUBCARRIER_SPACING_HZ
+        plan = is_feasible(zigbee_channel, center_hz, kept_bins)
+        if plan is not None:
+            plans.append(plan)
+    return plans

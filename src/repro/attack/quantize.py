@@ -1,0 +1,126 @@
+"""QAM quantization of the chosen frequency points (Sec. V-A3).
+
+By Parseval's theorem (Eq. 2 of the paper) the time-domain emulation
+error equals the total frequency-domain deviation, so the attacker snaps
+each kept frequency point to the nearest 64-QAM constellation point.  The
+constellation scale alpha is a free variable (Eq. 3-4); it is found by a
+numerical global search minimizing the total squared Euclidean deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wifi.qam import QamModulation, modulation_for_name
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """Outcome of quantizing a set of frequency points.
+
+    Attributes:
+        scale: the optimized constellation scale alpha.
+        quantized: ``alpha * c_j`` — the values that replace the original
+            frequency points in the IFFT.
+        constellation_points: the unit-power constellation points ``c_j``
+            (what the WiFi encoder would see as QAM symbols).
+        error: total squared Euclidean deviation at the chosen scale.
+    """
+
+    scale: float
+    quantized: np.ndarray
+    constellation_points: np.ndarray
+    error: float
+
+
+def quantization_error(points: np.ndarray, modulation: QamModulation, scale: float) -> float:
+    """Total squared distance of ``points`` to the scaled constellation."""
+    if scale < 0:
+        raise ConfigurationError("scale must be non-negative")
+    array = np.asarray(points, dtype=np.complex128)
+    if scale == 0.0:
+        return float(np.sum(np.abs(array) ** 2))
+    table = modulation.constellation() * scale
+    distances = np.abs(array[:, None] - table[None, :])
+    return float(np.sum(np.min(distances, axis=1) ** 2))
+
+
+def optimize_scale(
+    points: np.ndarray,
+    modulation: QamModulation,
+    coarse_steps: int = 200,
+    refine_rounds: int = 3,
+) -> float:
+    """Numerical global search for the best constellation scale alpha.
+
+    The objective ``sum_k min_j |x_k - alpha c_j|^2`` is piecewise smooth
+    in alpha with many local minima (the nearest-point assignment changes
+    with alpha), so we run a dense coarse grid over a bracketing range and
+    refine around the best cell a few times.
+    """
+    array = np.asarray(points, dtype=np.complex128)
+    if array.size == 0:
+        raise ConfigurationError("cannot optimize a scale for zero points")
+    if coarse_steps < 2 or refine_rounds < 0:
+        raise ConfigurationError("invalid search parameters")
+
+    # With the unit-power constellation the outermost point has magnitude
+    # max|c|; any alpha beyond max|x| / min|c_nonzero| is wasteful.
+    max_magnitude = float(np.max(np.abs(array)))
+    if max_magnitude == 0.0:
+        return 0.0
+    lower, upper = 0.0, max_magnitude * 2.0
+
+    best_scale, best_error = 0.0, quantization_error(array, modulation, 0.0)
+    for _ in range(refine_rounds + 1):
+        grid = np.linspace(lower, upper, coarse_steps)
+        errors = [quantization_error(array, modulation, float(s)) for s in grid]
+        index = int(np.argmin(errors))
+        if errors[index] < best_error:
+            best_error = float(errors[index])
+            best_scale = float(grid[index])
+        step = grid[1] - grid[0]
+        lower = max(0.0, grid[index] - step)
+        upper = grid[index] + step
+    return best_scale
+
+
+def quantize_points(
+    points: np.ndarray,
+    modulation: Optional[QamModulation] = None,
+    scale: Optional[float] = None,
+) -> QuantizationResult:
+    """Snap frequency points to the (scaled) QAM constellation.
+
+    Args:
+        points: the chosen frequency components X-hat(k).
+        modulation: constellation to quantize onto (default 64-QAM).
+        scale: fixed alpha; optimized numerically when omitted.
+    """
+    mod = modulation or modulation_for_name("64qam")
+    array = np.asarray(points, dtype=np.complex128)
+    if array.size == 0:
+        raise ConfigurationError("no points to quantize")
+    alpha = optimize_scale(array, mod) if scale is None else float(scale)
+    if alpha < 0:
+        raise ConfigurationError("scale must be non-negative")
+    if alpha == 0.0:
+        constellation_points = np.zeros_like(array)
+        quantized = np.zeros_like(array)
+    else:
+        table = mod.constellation()
+        distances = np.abs(array[:, None] - alpha * table[None, :])
+        nearest = np.argmin(distances, axis=1)
+        constellation_points = table[nearest]
+        quantized = alpha * constellation_points
+    error = float(np.sum(np.abs(array - quantized) ** 2))
+    return QuantizationResult(
+        scale=alpha,
+        quantized=quantized,
+        constellation_points=constellation_points,
+        error=error,
+    )

@@ -1,0 +1,102 @@
+"""Two-step subcarrier index selection (Sec. V-A2, Table I).
+
+The ZigBee receiver's 2 MHz band covers at most 7 of the attacker's 64
+subcarriers (2 MHz / 0.3125 MHz = 6.4).  The attacker therefore keeps
+only the 7 subcarrier indexes that matter and zeroes the rest:
+
+1. *Coarse estimation* — highlight every FFT magnitude above a threshold
+   (3 in the paper's example).
+2. *Detailed estimation* — count highlights per subcarrier index across
+   all observed chunks and keep the ``num_subcarriers`` most-highlighted
+   indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wifi.constants import FFT_SIZE
+
+DEFAULT_NUM_SUBCARRIERS = 7
+DEFAULT_COARSE_THRESHOLD = 3.0
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of the two-step selection.
+
+    Attributes:
+        indexes: chosen FFT bin indexes (0-based), ascending.
+        highlight_counts: per-bin count of chunks whose magnitude exceeded
+            the coarse threshold (the "detailed estimation" vote tally).
+        magnitudes: the full magnitude table (chunks x 64) for reporting.
+    """
+
+    indexes: np.ndarray
+    highlight_counts: np.ndarray
+    magnitudes: np.ndarray
+
+
+def coarse_highlight(magnitudes: np.ndarray, threshold: float) -> np.ndarray:
+    """Step 1: boolean table of magnitudes above the threshold."""
+    array = np.asarray(magnitudes, dtype=np.float64)
+    if array.ndim != 2 or array.shape[1] != FFT_SIZE:
+        raise ConfigurationError("magnitude table must be chunks x 64")
+    if threshold < 0:
+        raise ConfigurationError("threshold must be non-negative")
+    return array > threshold
+
+
+def select_subcarriers(
+    spectra: np.ndarray,
+    num_subcarriers: int = DEFAULT_NUM_SUBCARRIERS,
+    coarse_threshold: float = DEFAULT_COARSE_THRESHOLD,
+) -> SelectionResult:
+    """Run both estimation steps over a table of chunk spectra.
+
+    Args:
+        spectra: complex FFT table (chunks x 64) from
+            :func:`repro.attack.interpolate.spectrum_table`.
+        num_subcarriers: how many bins to keep (7 = the ZigBee bandwidth).
+        coarse_threshold: magnitude cut for the coarse estimation; the
+            paper uses 3 for unit-envelope waveforms.
+    """
+    table = np.abs(np.asarray(spectra, dtype=np.complex128))
+    if table.ndim != 2 or table.shape[1] != FFT_SIZE:
+        raise ConfigurationError("spectra must be chunks x 64")
+    if not 1 <= num_subcarriers <= FFT_SIZE:
+        raise ConfigurationError("num_subcarriers must be in [1, 64]")
+
+    highlighted = coarse_highlight(table, coarse_threshold)
+    counts = highlighted.sum(axis=0)
+
+    # Detailed estimation: most-voted bins win; break ties toward higher
+    # total magnitude so results are deterministic and sensible.
+    tie_breaker = table.sum(axis=0)
+    order = np.lexsort((-tie_breaker, -counts))
+    chosen = np.sort(order[:num_subcarriers])
+    return SelectionResult(
+        indexes=chosen.astype(np.int64),
+        highlight_counts=counts.astype(np.int64),
+        magnitudes=table,
+    )
+
+
+def indexes_to_logical(indexes: np.ndarray) -> np.ndarray:
+    """Convert FFT bin indexes (0..63) to signed subcarriers (-32..31)."""
+    array = np.asarray(indexes, dtype=np.int64)
+    if array.size and (array.min() < 0 or array.max() >= FFT_SIZE):
+        raise ConfigurationError("FFT bin indexes must be in [0, 63]")
+    return ((array + FFT_SIZE // 2) % FFT_SIZE) - FFT_SIZE // 2
+
+
+def logical_to_indexes(logical: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`indexes_to_logical`."""
+    array = np.asarray(logical, dtype=np.int64)
+    if array.size and (array.min() < -FFT_SIZE // 2 or array.max() >= FFT_SIZE // 2):
+        raise ConfigurationError("logical subcarriers must be in [-32, 31]")
+    return array % FFT_SIZE

@@ -1,0 +1,48 @@
+"""Composable channel abstraction.
+
+A channel is anything with ``apply(waveform) -> waveform``.  Impairments
+compose left-to-right through :class:`ChannelChain`, so a "real
+environment" is simply ``ChannelChain([pathloss, fading, offset, awgn])``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence
+
+from repro.utils.signal_ops import Waveform
+
+
+class Channel(abc.ABC):
+    """Base class for all channel impairments."""
+
+    @abc.abstractmethod
+    def apply(self, waveform: Waveform) -> Waveform:
+        """Propagate ``waveform`` through this impairment."""
+
+    def __call__(self, waveform: Waveform) -> Waveform:
+        return self.apply(waveform)
+
+
+class IdentityChannel(Channel):
+    """A channel that passes the waveform through untouched."""
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        return waveform
+
+
+class ChannelChain(Channel):
+    """Applies a sequence of channels in order."""
+
+    def __init__(self, channels: Iterable[Channel]):
+        self._channels: List[Channel] = list(channels)
+
+    @property
+    def channels(self) -> Sequence[Channel]:
+        """The composed impairments, in application order."""
+        return tuple(self._channels)
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        for channel in self._channels:
+            waveform = channel.apply(waveform)
+        return waveform

@@ -1,0 +1,75 @@
+"""Carrier frequency and phase offset impairments.
+
+These model the oscillator mismatch between transmitter and receiver that
+rotates the reconstructed constellation in the paper's "real scenario"
+(Fig. 6b) and motivates the |C40| detector variant (Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.base import Channel
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.signal_ops import Waveform, frequency_shift
+
+
+class PhaseOffsetChannel(Channel):
+    """Applies a fixed or randomly drawn constant phase rotation."""
+
+    def __init__(
+        self,
+        phase_rad: Optional[float] = None,
+        rng: RngLike = None,
+    ):
+        self.phase_rad = phase_rad
+        self._rng = ensure_rng(rng)
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        phase = (
+            self.phase_rad
+            if self.phase_rad is not None
+            else float(self._rng.uniform(-np.pi, np.pi))
+        )
+        return waveform.with_samples(waveform.samples * np.exp(1j * phase))
+
+
+class FrequencyOffsetChannel(Channel):
+    """Applies a constant carrier frequency offset (CFO).
+
+    Args:
+        offset_hz: deterministic CFO; when ``None`` a CFO is drawn
+            uniformly from ``[-max_offset_hz, +max_offset_hz]`` per packet.
+        max_offset_hz: bound for the random draw.
+    """
+
+    def __init__(
+        self,
+        offset_hz: Optional[float] = None,
+        max_offset_hz: float = 0.0,
+        rng: RngLike = None,
+    ):
+        if offset_hz is None and max_offset_hz < 0:
+            raise ConfigurationError("max_offset_hz must be non-negative")
+        self.offset_hz = offset_hz
+        self.max_offset_hz = max_offset_hz
+        self._rng = ensure_rng(rng)
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        offset = (
+            self.offset_hz
+            if self.offset_hz is not None
+            else float(self._rng.uniform(-self.max_offset_hz, self.max_offset_hz))
+        )
+        shifted = frequency_shift(waveform.samples, offset, waveform.sample_rate_hz)
+        return waveform.with_samples(shifted)
+
+
+def oscillator_cfo_hz(carrier_hz: float, ppm: float) -> float:
+    """CFO produced by an oscillator error of ``ppm`` parts-per-million."""
+    if carrier_hz <= 0:
+        raise ConfigurationError("carrier frequency must be positive")
+    return carrier_hz * ppm * 1e-6

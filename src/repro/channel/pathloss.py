@@ -1,0 +1,99 @@
+"""Large-scale propagation: log-distance path loss and the distance->SNR map.
+
+The paper's distance experiments (Fig. 14, Tables in Fig. 13) enter our
+simulation through the received SNR.  We use the standard log-distance
+model around a 1 m free-space reference at 2.4 GHz:
+
+    PL(d) = PL(d0) + 10 n log10(d / d0) + X_sigma
+
+and convert transmit power minus path loss minus noise floor into SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+#: Thermal noise density in dBm/Hz at 290 K.
+THERMAL_NOISE_DBM_HZ = -174.0
+
+
+def free_space_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Friis free-space path loss."""
+    if distance_m <= 0 or frequency_hz <= 0:
+        raise ConfigurationError("distance and frequency must be positive")
+    wavelength = SPEED_OF_LIGHT_M_S / frequency_hz
+    return float(20.0 * np.log10(4.0 * np.pi * distance_m / wavelength))
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Distance -> received SNR conversion for an indoor 2.4 GHz link.
+
+    Attributes:
+        tx_power_dbm: transmit power (ZigBee ~0 dBm; WiFi up to ~20 dBm).
+        path_loss_exponent: log-distance exponent (1.8-2.2 indoor LoS).
+        reference_distance_m: reference distance d0 for the model.
+        frequency_hz: carrier frequency.
+        bandwidth_hz: receiver noise bandwidth (2 MHz for ZigBee).
+        noise_figure_db: receiver noise figure.
+        shadowing_sigma_db: lognormal shadowing deviation (0 disables).
+        interference_power_dbm: in-band co-channel interference floor.
+            Indoor 2.4 GHz links are interference-limited rather than
+            thermal-limited; the paper's over-the-air error rates at a few
+            metres (Fig. 14) are only reproducible with a raised floor.
+            ``None`` keeps the thermal-only floor.
+    """
+
+    tx_power_dbm: float = 0.0
+    path_loss_exponent: float = 2.0
+    reference_distance_m: float = 1.0
+    frequency_hz: float = 2.435e9
+    bandwidth_hz: float = 2e6
+    noise_figure_db: float = 8.0
+    shadowing_sigma_db: float = 0.0
+    interference_power_dbm: Optional[float] = None
+
+    def path_loss_db(self, distance_m: float, rng: RngLike = None) -> float:
+        """Log-distance path loss, optionally with lognormal shadowing."""
+        if distance_m <= 0:
+            raise ConfigurationError("distance must be positive")
+        reference = free_space_path_loss_db(
+            self.reference_distance_m, self.frequency_hz
+        )
+        loss = reference + 10.0 * self.path_loss_exponent * np.log10(
+            max(distance_m, 1e-9) / self.reference_distance_m
+        )
+        if self.shadowing_sigma_db > 0:
+            loss += float(ensure_rng(rng).normal(0.0, self.shadowing_sigma_db))
+        return float(loss)
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        """Integrated thermal noise plus noise figure plus interference."""
+        thermal = (
+            THERMAL_NOISE_DBM_HZ
+            + 10.0 * np.log10(self.bandwidth_hz)
+            + self.noise_figure_db
+        )
+        if self.interference_power_dbm is None:
+            return thermal
+        combined = 10.0 ** (thermal / 10.0) + 10.0 ** (
+            self.interference_power_dbm / 10.0
+        )
+        return float(10.0 * np.log10(combined))
+
+    def received_power_dbm(self, distance_m: float, rng: RngLike = None) -> float:
+        """RX power after path loss."""
+        return self.tx_power_dbm - self.path_loss_db(distance_m, rng)
+
+    def snr_db(self, distance_m: float, rng: RngLike = None) -> float:
+        """Received SNR at ``distance_m``."""
+        return self.received_power_dbm(distance_m, rng) - self.noise_floor_dbm

@@ -1,0 +1,112 @@
+"""The constellation higher-order-statistics defense (the paper's Sec. VI)."""
+
+from repro.defense.amc import (
+    CIRCULAR_FAMILY,
+    ClassificationResult,
+    CumulantClassifier,
+    HierarchicalClassifier,
+    REAL_FAMILY,
+    synthesize_symbols,
+)
+from repro.defense.baselines import (
+    ChipSequenceBaseline,
+    ChipSequenceScore,
+    CyclicPrefixDetector,
+    CyclicPrefixScore,
+    PhaseTrajectoryBaseline,
+    PhaseTrajectoryScore,
+)
+from repro.defense.constellation import (
+    ConstellationOptions,
+    ideal_qpsk_points,
+    reconstruct_constellation,
+)
+from repro.defense.detector import (
+    DEFAULT_THRESHOLD,
+    PAPER_THRESHOLD,
+    CumulantDetector,
+    DetectionResult,
+    Hypothesis,
+    calibrate_threshold,
+)
+from repro.defense.features import (
+    ExtendedFeature,
+    QPSK_C63,
+    SixthOrderEstimate,
+    estimate_sixth_order,
+    extended_feature,
+    theoretical_sixth_order,
+)
+from repro.defense.kmeans import KMeansResult, cluster_phase_offset, kmeans
+from repro.defense.mlbaseline import (
+    FEATURE_NAMES,
+    LogisticDetector,
+    build_dataset,
+    feature_vector,
+)
+from repro.defense.monitor import AttackMonitor, MonitorAlert, SourceRecord
+from repro.defense.moments import (
+    CumulantEstimate,
+    QPSK_FEATURE_VECTOR,
+    estimate_cumulants,
+    reference_constellations,
+    theoretical_cumulants,
+    theoretical_table,
+)
+from repro.defense.roc import RocCurve, roc_curve
+from repro.defense.sequential import (
+    SequentialDecision,
+    SequentialDetector,
+    SequentialState,
+)
+
+__all__ = [
+    "AttackMonitor",
+    "CIRCULAR_FAMILY",
+    "ChipSequenceBaseline",
+    "ChipSequenceScore",
+    "ClassificationResult",
+    "ConstellationOptions",
+    "CumulantClassifier",
+    "CumulantDetector",
+    "CumulantEstimate",
+    "CyclicPrefixDetector",
+    "CyclicPrefixScore",
+    "DEFAULT_THRESHOLD",
+    "DetectionResult",
+    "ExtendedFeature",
+    "FEATURE_NAMES",
+    "HierarchicalClassifier",
+    "Hypothesis",
+    "KMeansResult",
+    "LogisticDetector",
+    "MonitorAlert",
+    "PAPER_THRESHOLD",
+    "PhaseTrajectoryBaseline",
+    "PhaseTrajectoryScore",
+    "QPSK_C63",
+    "QPSK_FEATURE_VECTOR",
+    "REAL_FAMILY",
+    "RocCurve",
+    "SequentialDecision",
+    "SequentialDetector",
+    "SequentialState",
+    "SixthOrderEstimate",
+    "SourceRecord",
+    "build_dataset",
+    "calibrate_threshold",
+    "cluster_phase_offset",
+    "estimate_cumulants",
+    "estimate_sixth_order",
+    "extended_feature",
+    "feature_vector",
+    "ideal_qpsk_points",
+    "kmeans",
+    "reconstruct_constellation",
+    "reference_constellations",
+    "roc_curve",
+    "synthesize_symbols",
+    "theoretical_cumulants",
+    "theoretical_sixth_order",
+    "theoretical_table",
+]

@@ -1,0 +1,236 @@
+"""The candidate defenses the paper analyses and rejects (Sec. VI-A1).
+
+Three strategies look plausible on paper and fail in practice; all three
+are implemented so that the failure can be demonstrated quantitatively
+(Figs. 8 and 9):
+
+* :class:`CyclicPrefixDetector` — look for the 0.8 us repetition a WiFi
+  symbol carries.  Works on the attacker's pristine 20 Msps waveform but
+  collapses after the 2 MHz receive filter, decimation, and noise.
+* :class:`PhaseTrajectoryBaseline` — compare the O-QPSK demodulator's
+  instantaneous-frequency output; both waveforms produce the same
+  trajectory trends.
+* :class:`ChipSequenceBaseline` — compare decoded chip sequences; DSSS
+  maps both to identical ZigBee symbols, erasing the evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform
+from repro.wifi.constants import CP_LENGTH, FFT_SIZE, SYMBOL_LENGTH
+from repro.zigbee.spreading import DsssDespreader
+
+
+@dataclass(frozen=True)
+class CyclicPrefixScore:
+    """Per-waveform cyclic-prefix repetition evidence.
+
+    Attributes:
+        mean_correlation: average normalized correlation between the first
+            16 and last 16 samples of each 80-sample window.
+        per_symbol: per-window correlations.
+    """
+
+    mean_correlation: float
+    per_symbol: np.ndarray
+
+
+class CyclicPrefixDetector:
+    """Detects the CP repetition inside candidate WiFi symbols.
+
+    Args:
+        decision_threshold: mean correlation above which the waveform is
+            flagged as WiFi-emulated.
+    """
+
+    def __init__(self, decision_threshold: float = 0.8):
+        if not 0 < decision_threshold <= 1:
+            raise ConfigurationError("decision_threshold must be in (0, 1]")
+        self.decision_threshold = decision_threshold
+
+    def score(self, waveform: Waveform, start: int = 0) -> CyclicPrefixScore:
+        """Correlate CP candidates across every whole 80-sample window.
+
+        The waveform must be at (or resampled to) 20 Msps for the window
+        arithmetic to line up with WiFi symbols; at the ZigBee receiver's
+        4 Msps the 0.8 us prefix is 3.2 samples and the structure is
+        unobservable — which is exactly the paper's point.
+        """
+        samples = waveform.samples[start:]
+        count = samples.size // SYMBOL_LENGTH
+        if count == 0:
+            raise ConfigurationError("waveform shorter than one WiFi symbol")
+        correlations = np.empty(count, dtype=np.float64)
+        for i in range(count):
+            window = samples[i * SYMBOL_LENGTH : (i + 1) * SYMBOL_LENGTH]
+            prefix = window[:CP_LENGTH]
+            tail = window[FFT_SIZE:]
+            denominator = np.linalg.norm(prefix) * np.linalg.norm(tail)
+            if denominator == 0.0:
+                correlations[i] = 0.0
+            else:
+                correlations[i] = float(abs(np.vdot(tail, prefix)) / denominator)
+        return CyclicPrefixScore(
+            mean_correlation=float(np.mean(correlations)),
+            per_symbol=correlations,
+        )
+
+    def score_best_alignment(self, waveform: Waveform) -> CyclicPrefixScore:
+        """Score with the window offset that maximizes the correlation.
+
+        A detector does not know where the attacker's symbol boundaries
+        fall, so it must search all 80 alignments; this is the strongest
+        version of the baseline.
+        """
+        best: Optional[CyclicPrefixScore] = None
+        limit = min(SYMBOL_LENGTH, max(waveform.samples.size - SYMBOL_LENGTH, 1))
+        for start in range(limit):
+            candidate = self.score(waveform, start)
+            if best is None or candidate.mean_correlation > best.mean_correlation:
+                best = candidate
+        assert best is not None
+        return best
+
+    def is_emulated(self, waveform: Waveform, start: int = 0) -> bool:
+        """Flag the waveform when CP repetition is visible."""
+        return self.score(waveform, start).mean_correlation >= self.decision_threshold
+
+
+@dataclass(frozen=True)
+class PhaseTrajectoryScore:
+    """Similarity between a received and a reference phase trajectory."""
+
+    correlation: float
+    received_frequency: np.ndarray
+    reference_frequency: np.ndarray
+
+
+class PhaseTrajectoryBaseline:
+    """Compares instantaneous-frequency outputs of the O-QPSK demodulator.
+
+    For MSK-like signals the instantaneous frequency is +/- chip-rate/4
+    depending on the chip transitions; the emulated waveform reproduces
+    the same trajectory (Fig. 9a), so this statistic cannot separate the
+    classes — its *failure* is the reproduced result.
+    """
+
+    #: MSK frequency deviation of the 2 Mchip/s ZigBee signal.
+    FREQUENCY_DEVIATION_HZ = 500e3
+
+    @classmethod
+    def instantaneous_frequency(
+        cls, waveform: Waveform, clip: bool = True
+    ) -> np.ndarray:
+        """Discrete derivative of the unwrapped phase, in Hz.
+
+        A hardware limiter-discriminator cannot slew beyond roughly twice
+        the modulation's deviation, so by default the output is clipped
+        at +/- 2 x 500 kHz; pass ``clip=False`` for the raw derivative.
+        """
+        phase = np.unwrap(np.angle(waveform.samples))
+        frequency = np.diff(phase) * waveform.sample_rate_hz / (2.0 * np.pi)
+        if clip:
+            limit = 2.0 * cls.FREQUENCY_DEVIATION_HZ
+            frequency = np.clip(frequency, -limit, limit)
+        return frequency
+
+    @classmethod
+    def estimate_frequency_deviation(cls, waveform: Waveform) -> float:
+        """Reference-free estimate of the FSK deviation, in Hz.
+
+        For MSK-like signals the instantaneous frequency swings between
+        +/- (chip rate / 4); the mean absolute frequency estimates that
+        deviation.  This is the "output of OQPSK demodulation ... signal
+        frequency related to the sample rate" statistic the paper's
+        Sec. VI-A1 considers and rejects: both the authentic and the
+        emulated waveform produce the same value.
+        """
+        frequency = cls.instantaneous_frequency(waveform)
+        if frequency.size == 0:
+            raise ConfigurationError("waveform too short")
+        return float(np.mean(np.abs(frequency)))
+
+    @classmethod
+    def estimate_chip_rate(cls, waveform: Waveform) -> float:
+        """Reference-free chip-rate estimate from frequency sign flips.
+
+        The frequency sign changes at (a subset of) chip boundaries; the
+        flip rate scales with the chip rate and is identical for both
+        waveform classes, which is why this cannot identify the attacker.
+        """
+        frequency = cls.instantaneous_frequency(waveform)
+        if frequency.size < 2:
+            raise ConfigurationError("waveform too short")
+        signs = np.sign(frequency)
+        flips = np.count_nonzero(np.diff(signs) != 0)
+        duration = (frequency.size - 1) / waveform.sample_rate_hz
+        # On average half of the chip transitions flip the frequency sign.
+        return 2.0 * flips / duration
+
+    def score(self, received: Waveform, reference: Waveform) -> PhaseTrajectoryScore:
+        """Correlate the two trajectories over their common length."""
+        fr = self.instantaneous_frequency(received)
+        fref = self.instantaneous_frequency(reference)
+        n = min(fr.size, fref.size)
+        if n < 2:
+            raise ConfigurationError("waveforms too short for a trajectory")
+        a, b = fr[:n], fref[:n]
+        a = a - a.mean()
+        b = b - b.mean()
+        denominator = np.linalg.norm(a) * np.linalg.norm(b)
+        correlation = float(np.dot(a, b) / denominator) if denominator else 0.0
+        return PhaseTrajectoryScore(
+            correlation=correlation,
+            received_frequency=fr[:n],
+            reference_frequency=fref[:n],
+        )
+
+
+@dataclass(frozen=True)
+class ChipSequenceScore:
+    """Chip- and symbol-level agreement between two receptions."""
+
+    chip_agreement: float
+    symbol_agreement: float
+    symbols_a: List[Optional[int]]
+    symbols_b: List[Optional[int]]
+
+
+class ChipSequenceBaseline:
+    """Compares hard chip sequences and their decoded symbols.
+
+    Even though the emulated waveform's chips differ in 4-8 positions per
+    symbol, DSSS despreading decodes both sequences to the same ZigBee
+    symbol (Fig. 9b) — the receiver's own error tolerance destroys the
+    evidence.
+    """
+
+    def __init__(self, correlation_threshold: int = 10):
+        self._despreader = DsssDespreader(correlation_threshold)
+
+    def score(
+        self, chips_a: Sequence[int], chips_b: Sequence[int]
+    ) -> ChipSequenceScore:
+        """Compare two equal-length hard chip streams."""
+        a = np.asarray(chips_a, dtype=np.uint8)
+        b = np.asarray(chips_b, dtype=np.uint8)
+        if a.size != b.size or a.size == 0:
+            raise ConfigurationError("chip streams must be equal-length, non-empty")
+        usable = a.size - (a.size % 32)
+        a, b = a[:usable], b[:usable]
+        chip_agreement = float(np.mean(a == b))
+        symbols_a = [d.symbol for d in self._despreader.despread(a)]
+        symbols_b = [d.symbol for d in self._despreader.despread(b)]
+        matches = [x == y for x, y in zip(symbols_a, symbols_b)]
+        return ChipSequenceScore(
+            chip_agreement=chip_agreement,
+            symbol_agreement=float(np.mean(matches)) if matches else 0.0,
+            symbols_a=symbols_a,
+            symbols_b=symbols_b,
+        )

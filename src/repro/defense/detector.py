@@ -1,0 +1,190 @@
+"""The cumulant-distance hypothesis test (Sec. VI-B3, Eqs. 10-11).
+
+The feature vector ``phi = [C40_hat, C42_hat]`` is compared against the
+theoretical QPSK vertex ``v = [1, -1]`` of the Voronoi tessellation of
+Table III.  The squared Euclidean distance ``D_E^2 = ||phi - v||^2``
+drives the test:
+
+    D_E^2 <  Q  ->  H0 (authentic ZigBee transmitter)
+    D_E^2 >= Q  ->  H1 (WiFi waveform-emulation attacker)
+
+The paper calibrates Q = 0.5 from 50 training waveforms per class; the
+same calibration is implemented by :func:`calibrate_threshold`.  In the
+real environment the frequency/phase offset rotates C40 by e^{j(df+th)},
+so the detector can use |C40| instead (Sec. VI-C).
+
+Threshold note: Q is receiver-specific.  The paper's 0.5 belongs to its
+GNU Radio / USRP chain; running the paper's calibration protocol against
+this package's receiver lands near 0.02 (authentic max ~0.009 at 7 dB,
+emulated min ~0.05 at 17 dB), which is the library default.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.defense.constellation import ConstellationOptions, reconstruct_constellation
+from repro.defense.moments import CumulantEstimate, estimate_cumulants
+from repro.errors import ConfigurationError, DetectionError
+
+#: Calibrated for this package's receiver per Sec. VII-B (the paper's
+#: 0.5 corresponds to its own hardware chain; see the module docstring).
+DEFAULT_THRESHOLD = 0.022
+
+#: The threshold the paper reports for its USRP/GNU Radio receiver.
+PAPER_THRESHOLD = 0.5
+
+
+class Hypothesis(enum.Enum):
+    """The two hypotheses of Eq. (10)."""
+
+    ZIGBEE_TRANSMITTER = "H0"
+    WIFI_ATTACKER = "H1"
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """One detector decision with its evidence.
+
+    Attributes:
+        hypothesis: H0 (authentic) or H1 (attacker).
+        distance_squared: the test statistic D_E^2.
+        feature: the estimated [C40 term, C42_hat] feature vector.
+        cumulants: the full cumulant estimate behind the feature.
+    """
+
+    hypothesis: Hypothesis
+    distance_squared: float
+    feature: np.ndarray
+    cumulants: CumulantEstimate
+
+    @property
+    def is_attack(self) -> bool:
+        """True when the waveform is attributed to the WiFi attacker."""
+        return self.hypothesis is Hypothesis.WIFI_ATTACKER
+
+
+class CumulantDetector:
+    """Fourth-order-cumulant detector for the emulation attack.
+
+    Args:
+        threshold: decision threshold Q (paper: 0.5).
+        use_abs_c40: replace Re(C40) by |C40| — the real-environment
+            variant that is immune to frequency/phase offset.
+        constellation_options: reconstruction conventions; defaults drop
+            no chips and rotate to the Table III orientation.
+        noise_variance: optional known noise power handed to the cumulant
+            estimator.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_THRESHOLD,
+        use_abs_c40: bool = False,
+        constellation_options: Optional[ConstellationOptions] = None,
+        noise_variance: float = 0.0,
+    ):
+        if threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+        self.threshold = threshold
+        self.use_abs_c40 = use_abs_c40
+        self.constellation_options = constellation_options or ConstellationOptions()
+        self.noise_variance = noise_variance
+
+    def feature_vector(self, estimate: CumulantEstimate) -> np.ndarray:
+        """phi = [C40 term, C42_hat] per the configured variant."""
+        c40 = estimate.c40_hat
+        first = abs(c40) if self.use_abs_c40 else float(np.real(c40))
+        return np.array([first, estimate.c42_hat])
+
+    def statistic_from_points(
+        self, points: np.ndarray, noise_variance: Optional[float] = None
+    ) -> DetectionResult:
+        """Compute D_E^2 from already-reconstructed constellation points."""
+        variance = self.noise_variance if noise_variance is None else noise_variance
+        estimate = estimate_cumulants(points, noise_variance=variance)
+        feature = self.feature_vector(estimate)
+        target = np.array([1.0, -1.0])
+        distance_squared = float(np.sum((feature - target) ** 2))
+        hypothesis = (
+            Hypothesis.WIFI_ATTACKER
+            if distance_squared >= self.threshold
+            else Hypothesis.ZIGBEE_TRANSMITTER
+        )
+        return DetectionResult(
+            hypothesis=hypothesis,
+            distance_squared=distance_squared,
+            feature=feature,
+            cumulants=estimate,
+        )
+
+    def statistic(
+        self, soft_chips: np.ndarray, chip_noise_variance: Optional[float] = None
+    ) -> DetectionResult:
+        """Compute D_E^2 straight from receiver soft chip samples.
+
+        Args:
+            soft_chips: chip-rate soft samples from the receiver.
+            chip_noise_variance: noise power per soft chip (from the
+                receiver's noise-floor estimate); when given, the paper's
+                noise-variance subtraction is applied in the normalized
+                constellation domain.
+        """
+        from dataclasses import replace
+
+        options = self.constellation_options
+        raw = reconstruct_constellation(
+            soft_chips, replace(options, normalize=False)
+        )
+        total_power = float(np.mean(np.abs(raw) ** 2))
+        if total_power <= 0:
+            raise ConfigurationError("constellation has no power")
+        points = raw / np.sqrt(total_power) if options.normalize else raw
+
+        noise_variance: Optional[float] = None
+        if chip_noise_variance is not None:
+            if chip_noise_variance < 0:
+                raise ConfigurationError("chip_noise_variance must be >= 0")
+            # A constellation point is a unitary combination of two chips,
+            # so its noise power equals the per-chip noise power; rescale
+            # into the normalized domain.
+            noise_variance = chip_noise_variance / total_power
+            noise_variance = min(noise_variance, 0.9)  # guard degenerate input
+        return self.statistic_from_points(points, noise_variance=noise_variance)
+
+    def classify(self, soft_chips: np.ndarray) -> Hypothesis:
+        """Convenience wrapper returning only the hypothesis."""
+        return self.statistic(soft_chips).hypothesis
+
+
+def calibrate_threshold(
+    zigbee_statistics: Sequence[float],
+    emulated_statistics: Sequence[float],
+) -> float:
+    """Pick Q between the two training populations (Sec. VII-C4).
+
+    The paper observes a wide gap between the classes and places Q in it
+    (choosing 0.5).  We return the geometric mean of the innermost
+    training extremes — the midpoint of the gap on a log scale, which is
+    robust to the order-of-magnitude spread of D_E^2 values.
+
+    Raises:
+        DetectionError: when the training populations overlap and no
+            separating threshold exists.
+    """
+    zigbee = np.asarray(list(zigbee_statistics), dtype=np.float64)
+    emulated = np.asarray(list(emulated_statistics), dtype=np.float64)
+    if zigbee.size == 0 or emulated.size == 0:
+        raise ConfigurationError("both training populations must be non-empty")
+    upper_h0 = float(zigbee.max())
+    lower_h1 = float(emulated.min())
+    if upper_h0 >= lower_h1:
+        raise DetectionError(
+            f"training populations overlap (max H0 {upper_h0:.4f} >= "
+            f"min H1 {lower_h1:.4f}); no clean threshold exists"
+        )
+    return float(np.sqrt(max(upper_h0, 1e-12) * lower_h1))

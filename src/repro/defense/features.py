@@ -1,0 +1,134 @@
+"""Sixth-order cumulant features (extension beyond the paper).
+
+The paper stops at fourth order.  Swami & Sadler's framework extends to
+sixth-order cumulants, which react even more strongly to the emulation's
+amplitude outliers (they grow with the cube of sample power).  This
+module estimates C60, C61, C62, C63 and provides an extended detector
+feature vector [C40, C42, C63] plus theoretical QPSK values.
+
+For zero-mean complex x with q conjugated factors (moments m_{pq} =
+E[x^{p-q} (x*)^q]):
+
+    C60 = m60 - 15 m20 m40 + 30 m20^3
+    C63 = m63 - 9 c42 c21 - 6 c21^3        (for circular signals)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.defense.moments import reference_constellations
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SixthOrderEstimate:
+    """Sample sixth-order cumulants, normalized by C21^3.
+
+    Attributes:
+        c60_hat, c63_hat: normalized cumulant estimates.
+        c21: the second-order moment used for normalization.
+    """
+
+    c60_hat: complex
+    c63_hat: float
+    c21: float
+
+
+def _moments(samples: np.ndarray) -> Tuple[complex, float, complex, float, complex, float]:
+    d = samples
+    m20 = complex(np.mean(d**2))
+    m21 = float(np.mean(np.abs(d) ** 2))
+    m40 = complex(np.mean(d**4))
+    m42 = float(np.mean(np.abs(d) ** 4))
+    m60 = complex(np.mean(d**6))
+    m63 = float(np.mean(np.abs(d) ** 6))
+    return m20, m21, m40, m42, m60, m63
+
+
+def estimate_sixth_order(samples: np.ndarray, min_samples: int = 8) -> SixthOrderEstimate:
+    """Estimate normalized C60 and C63 from complex samples."""
+    array = np.asarray(samples, dtype=np.complex128)
+    if array.size < min_samples:
+        raise ConfigurationError(
+            f"need at least {min_samples} samples for 6th-order stats"
+        )
+    m20, m21, m40, m42, m60, m63 = _moments(array)
+
+    c21 = m21
+    c20 = m20
+    c40 = m40 - 3.0 * c20**2
+    c42 = m42 - abs(c20) ** 2 - 2.0 * c21**2
+
+    c60 = m60 - 15.0 * m20 * m40 + 30.0 * m20**3
+    # C63 for circular (proper) signals; the |C20|-dependent terms vanish
+    # for PSK/QAM and are omitted (they are second-order-small otherwise).
+    c63 = m63 - 9.0 * c42 * c21 - 6.0 * c21**3
+
+    if c21 <= 0:
+        raise ConfigurationError("cannot normalize with non-positive power")
+    return SixthOrderEstimate(
+        c60_hat=c60 / c21**3,
+        c63_hat=float(c63 / c21**3),
+        c21=c21,
+    )
+
+
+def theoretical_sixth_order(name: str) -> Tuple[complex, float]:
+    """Exact (C60_hat, C63_hat) of a unit-power reference constellation."""
+    constellations = reference_constellations()
+    if name not in constellations:
+        raise ConfigurationError(f"unknown constellation {name!r}")
+    points = constellations[name]
+    estimate = estimate_sixth_order_over_constellation(points)
+    return estimate.c60_hat, estimate.c63_hat
+
+
+def estimate_sixth_order_over_constellation(points: np.ndarray) -> SixthOrderEstimate:
+    """Evaluate the cumulant formulas over equiprobable discrete points."""
+    return estimate_sixth_order(
+        np.asarray(points, dtype=np.complex128), min_samples=2
+    )
+
+
+#: QPSK theoretical values for the extended feature (C21 = 1):
+#: C60 = 0 (since m60 = E[e^{j6theta}] = 0 for {1,j,-1,-j}? no: x^6 of
+#: {1,j,-1,-j} is {1,-1,1,-1} -> m60 = 0) and C63 = 1 - 9(-1) - 6 = 4.
+QPSK_C63 = 4.0
+
+
+@dataclass(frozen=True)
+class ExtendedFeature:
+    """The paper's [C40, C42] feature extended with C63."""
+
+    c40: float
+    c42: float
+    c63: float
+
+    def distance_squared(self, weights: Tuple[float, float, float] = (1.0, 1.0, 0.1)) -> float:
+        """Weighted squared distance to the theoretical QPSK vertex.
+
+        C63 spans a larger numeric range than the fourth-order terms, so
+        it enters with a smaller default weight.
+        """
+        w40, w42, w63 = weights
+        return float(
+            w40 * (self.c40 - 1.0) ** 2
+            + w42 * (self.c42 + 1.0) ** 2
+            + w63 * (self.c63 - QPSK_C63) ** 2
+        )
+
+
+def extended_feature(samples: np.ndarray, use_abs_c40: bool = False) -> ExtendedFeature:
+    """Compute the extended feature vector from constellation points."""
+    from repro.defense.moments import estimate_cumulants
+
+    fourth = estimate_cumulants(samples)
+    sixth = estimate_sixth_order(samples)
+    c40 = abs(fourth.c40_hat) if use_abs_c40 else float(np.real(fourth.c40_hat))
+    return ExtendedFeature(
+        c40=c40, c42=fourth.c42_hat, c63=sixth.c63_hat
+    )

@@ -1,0 +1,92 @@
+"""Receiver-operating-characteristic analysis of the defense.
+
+The paper picks a single threshold from a visible gap (Q = 0.5).  For an
+operational deployment one wants the whole trade-off curve: this module
+sweeps the threshold over both score populations and reports TPR/FPR
+pairs, the area under the curve, and the equal-error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """An ROC curve for an is-attack score (higher = more suspicious).
+
+    Attributes:
+        thresholds: descending threshold grid.
+        true_positive_rates: attack-detection rate at each threshold.
+        false_positive_rates: authentic-flagged rate at each threshold.
+    """
+
+    thresholds: np.ndarray
+    true_positive_rates: np.ndarray
+    false_positive_rates: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve via trapezoidal integration."""
+        order = np.argsort(self.false_positive_rates, kind="stable")
+        x = self.false_positive_rates[order]
+        y = self.true_positive_rates[order]
+        return float(np.sum((x[1:] - x[:-1]) * (y[1:] + y[:-1]) / 2.0))
+
+    def equal_error_rate(self) -> float:
+        """The rate where false positives equal false negatives."""
+        false_negative = 1.0 - self.true_positive_rates
+        gaps = np.abs(false_negative - self.false_positive_rates)
+        index = int(np.argmin(gaps))
+        return float(
+            (false_negative[index] + self.false_positive_rates[index]) / 2.0
+        )
+
+    def threshold_for_fpr(self, max_fpr: float) -> float:
+        """Smallest threshold keeping FPR at or below ``max_fpr``."""
+        if not 0.0 <= max_fpr <= 1.0:
+            raise ConfigurationError("max_fpr must be in [0, 1]")
+        acceptable = self.false_positive_rates <= max_fpr
+        if not acceptable.any():
+            raise ConfigurationError(f"no threshold achieves FPR <= {max_fpr}")
+        candidates = self.thresholds[acceptable]
+        return float(np.min(candidates))
+
+
+def roc_curve(
+    authentic_scores: Sequence[float],
+    attack_scores: Sequence[float],
+    num_points: int = 200,
+) -> RocCurve:
+    """Sweep thresholds over the union of both score populations.
+
+    Args:
+        authentic_scores: D_E^2 values of authentic waveforms (H0).
+        attack_scores: D_E^2 values of emulated waveforms (H1).
+        num_points: threshold grid size.
+    """
+    h0 = np.asarray(list(authentic_scores), dtype=np.float64)
+    h1 = np.asarray(list(attack_scores), dtype=np.float64)
+    if h0.size == 0 or h1.size == 0:
+        raise ConfigurationError("both score populations must be non-empty")
+    if num_points < 2:
+        raise ConfigurationError("num_points must be >= 2")
+
+    combined = np.concatenate([h0, h1])
+    low = float(combined.min())
+    high = float(combined.max())
+    margin = max((high - low) * 0.01, 1e-12)
+    thresholds = np.linspace(high + margin, low - margin, num_points)
+
+    tpr = np.array([(h1 >= t).mean() for t in thresholds])
+    fpr = np.array([(h0 >= t).mean() for t in thresholds])
+    return RocCurve(
+        thresholds=thresholds,
+        true_positive_rates=tpr,
+        false_positive_rates=fpr,
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary
+without swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or invoked with inconsistent parameters."""
+
+
+class FramingError(ReproError):
+    """A PHY or MAC frame could not be built or parsed."""
+
+
+class FcsError(FramingError):
+    """A MAC frame failed its frame-check-sequence (CRC) validation."""
+
+
+class SynchronizationError(ReproError):
+    """Packet detection / timing recovery failed on a received waveform."""
+
+
+class DecodingError(ReproError):
+    """A waveform was detected but could not be decoded into symbols."""
+
+
+class EmulationError(ReproError):
+    """The waveform emulation attack pipeline failed."""
+
+
+class DetectionError(ReproError):
+    """The defensive detector could not produce a decision."""

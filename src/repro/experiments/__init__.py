@@ -1,0 +1,5 @@
+"""Per-table/figure experiment harness (see DESIGN.md section 4)."""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

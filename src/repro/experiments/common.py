@@ -1,0 +1,171 @@
+"""Shared infrastructure for the per-table/figure experiment modules.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` with
+defaults small enough for CI; pass larger ``trials`` for paper-scale
+statistics.  The result carries printable rows so the benchmark harness
+and the CLI can render the same tables the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attack.emulator import (
+    EmulationConfig,
+    EmulationResult,
+    WaveformEmulationAttack,
+)
+from repro.channel.awgn import AwgnChannel
+from repro.errors import ConfigurationError, SynchronizationError
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.signal_ops import Waveform
+from repro.zigbee.receiver import ReceivedPacket, ReceiverConfig, ZigBeeReceiver
+from repro.zigbee.transmitter import TransmitResult, ZigBeeTransmitter
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure.
+
+    Attributes:
+        experiment_id: paper artifact id, e.g. ``"table2"`` or ``"fig10"``.
+        title: human-readable description.
+        columns: column names of the reproduced table.
+        rows: list of row dicts keyed by column name.
+        series: optional named numeric series (figure data).
+        notes: free-form remarks (substitutions, calibrated values).
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one table row; keys must match ``columns``."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ConfigurationError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def format_table(self) -> str:
+        """Render the rows as an aligned text table."""
+        def _fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4f}"
+            return str(value)
+
+        widths = {
+            column: max(
+                len(column), *(len(_fmt(row.get(column, ""))) for row in self.rows)
+            ) if self.rows else len(column)
+            for column in self.columns
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in self.columns)
+        lines = [self.title, header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row.get(column, "")).ljust(widths[column])
+                    for column in self.columns
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def default_payload() -> bytes:
+    """The canonical APP payload used across experiments."""
+    return b"00042"
+
+
+def build_observed_waveform(
+    payload: Optional[bytes] = None, transmitter: Optional[ZigBeeTransmitter] = None
+) -> TransmitResult:
+    """One authentic ZigBee frame as observed by the attacker."""
+    tx = transmitter or ZigBeeTransmitter()
+    return tx.transmit_payload(payload if payload is not None else default_payload())
+
+
+@dataclass
+class PreparedLink:
+    """A pre-emulated transmission reused across noise realizations.
+
+    Emulation is deterministic given the observed waveform, so sweeps add
+    fresh noise to the same emulated (or authentic, rate-converted)
+    waveform instead of re-running the attack per trial — exactly the
+    paper's "1000 waveform transmissions" methodology.
+    """
+
+    sent: TransmitResult
+    on_air: Waveform
+    emulation: Optional[EmulationResult]
+
+
+#: Signal-free samples prepended to every on-air waveform (25 us at
+#: 20 Msps) so the receiver can estimate its noise floor before the frame.
+LEAD_IN_SAMPLES = 500
+
+
+def _with_lead_in(waveform: Waveform) -> Waveform:
+    zeros = np.zeros(LEAD_IN_SAMPLES, dtype=np.complex128)
+    return Waveform(
+        np.concatenate([zeros, waveform.samples]), waveform.sample_rate_hz
+    )
+
+
+def prepare_authentic(payload: Optional[bytes] = None) -> PreparedLink:
+    """Authentic ZigBee waveform upconverted to the 20 Msps air rate."""
+    from repro.attack.interpolate import to_wifi_rate
+
+    sent = build_observed_waveform(payload)
+    return PreparedLink(
+        sent=sent,
+        on_air=_with_lead_in(to_wifi_rate(sent.waveform)),
+        emulation=None,
+    )
+
+
+def prepare_emulated(
+    payload: Optional[bytes] = None,
+    config: Optional[EmulationConfig] = None,
+    rng: RngLike = None,
+) -> PreparedLink:
+    """Emulated waveform ready for repeated noisy transmission."""
+    sent = build_observed_waveform(payload)
+    attack = WaveformEmulationAttack(config=config, rng=rng)
+    emulation = attack.emulate(sent.waveform)
+    return PreparedLink(
+        sent=sent,
+        on_air=_with_lead_in(attack.transmit_waveform(emulation)),
+        emulation=emulation,
+    )
+
+
+def transmit_once(
+    prepared: PreparedLink,
+    receiver: ZigBeeReceiver,
+    snr_db: Optional[float],
+    rng: RngLike = None,
+) -> Optional[ReceivedPacket]:
+    """One noisy transmission of a prepared waveform; None = sync lost."""
+    waveform = prepared.on_air
+    if snr_db is not None:
+        waveform = AwgnChannel(snr_db=snr_db, rng=rng).apply(waveform)
+    try:
+        return receiver.receive(waveform)
+    except SynchronizationError:
+        return None
+
+
+def packet_delivered(prepared: PreparedLink, packet: Optional[ReceivedPacket]) -> bool:
+    """The paper's success criterion for one transmission."""
+    if packet is None or not packet.fcs_ok or packet.psdu is None:
+        return False
+    return packet.psdu == prepared.sent.ppdu[6:]

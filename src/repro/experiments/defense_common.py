@@ -1,0 +1,129 @@
+"""Shared plumbing for the defense experiments (Tables IV-V, Figs. 10-12).
+
+The defense taps the receiver's chip-rate soft samples over the PSDU.
+Experiments default to the quadrature (frequency-discriminator) samples —
+the signal GNU Radio's receiver exposes and by far the more sensitive
+probe of the attack's cyclic-prefix discontinuities; ``chip_source``
+switches to the coherent matched-filter samples for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.defense.detector import CumulantDetector, DetectionResult
+from repro.experiments.common import PreparedLink, transmit_once
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
+
+CHIP_SOURCES = ("quadrature", "matched_filter")
+
+
+def defense_receiver() -> ZigBeeReceiver:
+    """The receiver profile used by all defense experiments."""
+    return ZigBeeReceiver(ReceiverConfig(demodulation="matched_filter"))
+
+
+def extract_chips(packet, chip_source: str) -> np.ndarray:
+    """PSDU chip samples of the requested kind from one reception."""
+    if chip_source == "quadrature":
+        return packet.diagnostics.psdu_quadrature_soft_chips
+    if chip_source == "matched_filter":
+        return packet.diagnostics.psdu_soft_chips
+    raise ValueError(f"unknown chip source {chip_source!r}")
+
+
+@dataclass
+class StatisticSample:
+    """One defense observation: the statistic and its provenance."""
+
+    distance_squared: float
+    detection: DetectionResult
+    snr_db: Optional[float]
+
+
+def matched_filter_chip_noise_variance(
+    sample_noise_variance: float, samples_per_chip: int = 2
+) -> float:
+    """Noise power per matched-filter soft chip given per-sample noise.
+
+    The soft chip is ``sum(Re(r) p) / E_p`` over one pulse, so complex
+    sample noise of variance ``sigma^2`` contributes ``sigma^2 / (2 E_p)``.
+    """
+    from repro.zigbee.halfsine import pulse_energy
+
+    return sample_noise_variance / (2.0 * pulse_energy(samples_per_chip))
+
+
+def chip_noise_variance_for(
+    packet, chip_source: str, samples_per_chip: int = 2
+) -> Optional[float]:
+    """Chip-domain noise variance from a reception's noise-floor estimate.
+
+    Only meaningful for the (linear) matched-filter source; the quadrature
+    discriminator is non-linear in the noise, so no subtraction applies.
+    """
+    sample_variance = packet.diagnostics.noise_variance
+    if sample_variance is None or chip_source != "matched_filter":
+        return None
+    return matched_filter_chip_noise_variance(sample_variance, samples_per_chip)
+
+
+def collect_statistics(
+    prepared: PreparedLink,
+    detector: CumulantDetector,
+    snr_db: Optional[float],
+    count: int,
+    rng: RngLike = None,
+    receiver: Optional[ZigBeeReceiver] = None,
+    chip_source: str = "quadrature",
+    noise_corrected: bool = False,
+) -> List[StatisticSample]:
+    """Gather D_E^2 over ``count`` independent noisy receptions.
+
+    Receptions that fail to synchronize or decode are skipped (they never
+    reach the defense in the paper's pipeline either).
+
+    Args:
+        noise_corrected: apply the paper's noise-variance subtraction
+            using the receiver's per-packet noise-floor estimate
+            (matched-filter chip source only).
+    """
+    if chip_source not in CHIP_SOURCES:
+        raise ValueError(f"chip_source must be one of {CHIP_SOURCES}")
+    rx = receiver or defense_receiver()
+    samples: List[StatisticSample] = []
+    rngs = spawn_rngs(rng, count)
+    for generator in rngs:
+        packet = transmit_once(prepared, rx, snr_db, generator)
+        if packet is None or not packet.decoded:
+            continue
+        chips = extract_chips(packet, chip_source)
+        if chips.size < 8:
+            continue
+        chip_noise = (
+            chip_noise_variance_for(
+                packet, chip_source, rx.config.samples_per_chip
+            )
+            if noise_corrected
+            else None
+        )
+        detection = detector.statistic(chips, chip_noise_variance=chip_noise)
+        samples.append(
+            StatisticSample(
+                distance_squared=detection.distance_squared,
+                detection=detection,
+                snr_db=snr_db,
+            )
+        )
+    return samples
+
+
+def mean_distance_squared(samples: Sequence[StatisticSample]) -> float:
+    """Average D_E^2 over a sample set (paper's Tables IV and V)."""
+    if not samples:
+        return float("nan")
+    return float(np.mean([s.distance_squared for s in samples]))

@@ -1,0 +1,23 @@
+"""Fig. 11 — C40 versus SNR (thin wrapper over the Fig. 10 runner)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments import fig10_c42
+from repro.experiments.common import ExperimentResult
+from repro.utils.rng import RngLike
+
+
+def run(
+    snrs_db: Sequence[float] = (5, 7, 9, 11, 13, 15, 17),
+    waveforms_per_point: int = 10,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Sweep C40-hat over SNR for both waveform classes."""
+    return fig10_c42.run(
+        snrs_db=snrs_db,
+        waveforms_per_point=waveforms_per_point,
+        statistic="c40",
+        rng=rng,
+    )

@@ -1,0 +1,65 @@
+"""Fig. 5 — in-phase and quadrature waveforms, original vs emulated.
+
+The paper plots one emulated WiFi symbol against the observed ZigBee
+waveform: they match everywhere except the first 0.8 us (the cyclic
+prefix region the attacker cannot control).  We reproduce the series and
+quantify the match in both regions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attack.emulator import WaveformEmulationAttack
+from repro.experiments.common import ExperimentResult, build_observed_waveform
+from repro.utils.rng import RngLike
+from repro.wifi.constants import CP_LENGTH
+
+
+def _region_nmse(original: np.ndarray, emulated: np.ndarray) -> float:
+    power = float(np.mean(np.abs(original) ** 2))
+    if power == 0.0:
+        return float("nan")
+    return float(np.mean(np.abs(original - emulated) ** 2) / power)
+
+
+def run(payload: Optional[bytes] = None, rng: RngLike = None) -> ExperimentResult:
+    """Emulate one frame and compare per-chunk I/Q fidelity."""
+    sent = build_observed_waveform(payload)
+    attack = WaveformEmulationAttack(rng=rng)
+    emulation = attack.emulate(sent.waveform)
+
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Fig. 5: emulated vs original waveform (per-chunk NMSE)",
+        columns=["chunk", "nmse_cp_region", "nmse_body", "correlation_body"],
+    )
+    shown = min(emulation.chunks.shape[0], 8)
+    for i in range(shown):
+        original = emulation.chunks[i]
+        emulated = emulation.emulated_chunks[i]
+        body_o, body_e = original[CP_LENGTH:], emulated[CP_LENGTH:]
+        denominator = np.linalg.norm(body_o) * np.linalg.norm(body_e)
+        correlation = (
+            float(abs(np.vdot(body_o, body_e)) / denominator) if denominator else 0.0
+        )
+        result.add_row(
+            chunk=i,
+            nmse_cp_region=_region_nmse(original[:CP_LENGTH], emulated[:CP_LENGTH]),
+            nmse_body=_region_nmse(body_o, body_e),
+            correlation_body=correlation,
+        )
+
+    # Figure series: one chunk's I and Q traces, original vs emulated.
+    index = min(2, emulation.chunks.shape[0] - 1)
+    result.series["original_i"] = emulation.chunks[index].real.copy()
+    result.series["original_q"] = emulation.chunks[index].imag.copy()
+    result.series["emulated_i"] = emulation.emulated_chunks[index].real.copy()
+    result.series["emulated_q"] = emulation.emulated_chunks[index].imag.copy()
+    result.notes.append(
+        "body (3.2 us) matches closely; the 0.8 us CP region is uncontrolled, "
+        "exactly as Fig. 5 shows"
+    )
+    return result

@@ -1,0 +1,108 @@
+"""Fig. 6 — reconstructed constellation diagrams, AWGN vs real environment.
+
+The paper shows the defense's reconstructed QPSK constellation: compact
+axis-aligned clusters in AWGN and visibly rotated clusters in the real
+environment.  k-means (k = 4) locates the cluster centres; the estimated
+rotation of the centres quantifies the phase offset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.awgn import AwgnChannel
+from repro.channel.base import ChannelChain
+from repro.channel.offsets import PhaseOffsetChannel
+from repro.defense.constellation import ConstellationOptions, reconstruct_constellation
+from repro.defense.kmeans import cluster_phase_offset, kmeans
+from repro.experiments.common import ExperimentResult, prepare_authentic
+from repro.experiments.defense_common import defense_receiver
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+def run(
+    snr_db: float = 17.0,
+    phase_offset_rad: float = np.pi / 16,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Cluster the reconstructed constellation in both scenarios.
+
+    Args:
+        snr_db: AWGN level for both scenarios.
+        phase_offset_rad: the real environment's carrier phase offset.
+        rng: noise randomness.
+    """
+    awgn_rng, real_rng, k1_rng, k2_rng = spawn_rngs(rng, 4)
+    receiver = defense_receiver()
+    prepared = prepare_authentic()
+
+    # AWGN scenario: the synchronizer corrects phase as usual.
+    awgn_packet = receiver.receive(
+        AwgnChannel(snr_db, rng=awgn_rng).apply(prepared.on_air)
+    )
+    awgn_points = reconstruct_constellation(
+        awgn_packet.diagnostics.psdu_soft_chips, ConstellationOptions()
+    )
+
+    # Real scenario: a deliberate phase offset received with genie timing
+    # (no phase correction or tracking), so the offset survives to the
+    # constellation exactly as in Fig. 6b.
+    from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
+
+    untracked = ZigBeeReceiver(ReceiverConfig(phase_tracking=False))
+    channel = ChannelChain(
+        [
+            PhaseOffsetChannel(phase_rad=phase_offset_rad),
+            AwgnChannel(snr_db, rng=real_rng),
+        ]
+    )
+    from repro.experiments.common import LEAD_IN_SAMPLES
+
+    received = channel.apply(prepared.on_air)
+    baseband = untracked.channelize(received)
+    # Genie timing: the frame starts right after the lead-in (rescaled
+    # from the 20 Msps air rate to the 4 Msps native rate).
+    frame_start = int(
+        LEAD_IN_SAMPLES * baseband.sample_rate_hz / received.sample_rate_hz
+    )
+    diagnostics = untracked.demodulate_chips(baseband, known_start=frame_start)
+    num_header = 12 * 32
+    real_points = reconstruct_constellation(
+        diagnostics.soft_chips[num_header:], ConstellationOptions()
+    )
+
+    awgn_clusters = kmeans(awgn_points, k=4, rng=k1_rng)
+    real_clusters = kmeans(real_points, k=4, rng=k2_rng)
+
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="Fig. 6: constellation diagram comparison (k-means, k=4)",
+        columns=[
+            "scenario", "inertia_per_point", "phase_offset_deg",
+            "injected_offset_deg",
+        ],
+    )
+    result.add_row(
+        scenario="awgn",
+        inertia_per_point=awgn_clusters.inertia / awgn_points.size,
+        phase_offset_deg=float(np.degrees(cluster_phase_offset(awgn_clusters))),
+        injected_offset_deg=0.0,
+    )
+    result.add_row(
+        scenario="real",
+        inertia_per_point=real_clusters.inertia / real_points.size,
+        phase_offset_deg=float(np.degrees(cluster_phase_offset(real_clusters))),
+        injected_offset_deg=float(np.degrees(phase_offset_rad)),
+    )
+    result.series["awgn_points"] = awgn_points
+    result.series["real_points"] = real_points
+    result.series["awgn_centers"] = awgn_clusters.centers
+    result.series["real_centers"] = real_clusters.centers
+    result.notes.append(
+        "the real-environment centres rotate visibly in the direction of the "
+        "injected phase offset (O-QPSK rail leakage attenuates the apparent "
+        "angle), reproducing Fig. 6b's rotated constellation"
+    )
+    return result

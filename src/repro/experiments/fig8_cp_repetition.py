@@ -1,0 +1,75 @@
+"""Fig. 8 — why the cyclic-prefix defense fails (Sec. VI-A1).
+
+The emulated waveform repeats its first 0.8 us at its end of every WiFi
+symbol, so detecting that repetition looks like a defense.  The paper
+shows the received waveform at 17 dB where the repetition is invisible.
+We quantify it: on the attacker's pristine 20 Msps waveform the CP
+correlation is ~1 (detectable), but after the receiver's 2 MHz channel
+filter, decimation and noise it collapses into the same range as the
+authentic waveform — no usable threshold remains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.awgn import AwgnChannel
+from repro.defense.baselines import CyclicPrefixDetector
+from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.signal_ops import Waveform, polyphase_resample
+
+
+def run(snr_db: float = 17.0, rng: RngLike = None) -> ExperimentResult:
+    """Score the CP detector on pristine and received waveforms."""
+    detector = CyclicPrefixDetector()
+    authentic = prepare_authentic()
+    emulated = prepare_emulated()
+    rngs = spawn_rngs(rng, 2)
+
+    rows = []
+    for label, prepared, generator in (
+        ("original", authentic, rngs[0]),
+        ("emulated", emulated, rngs[1]),
+    ):
+        # Pristine view: the attacker's own waveform, symbol-aligned (the
+        # emulation result carries no leading zeros).
+        pristine_waveform = (
+            prepared.emulation.waveform if prepared.emulation else prepared.on_air
+        )
+        pristine = detector.score(pristine_waveform).mean_correlation
+        noisy = AwgnChannel(snr_db, rng=generator).apply(pristine_waveform)
+        # The receiver-side view: 2 MHz channel filter + decimation back
+        # up-sampled to re-apply the 80-sample window arithmetic; the
+        # detector searches all alignments (strongest possible baseline).
+        from repro.experiments.defense_common import defense_receiver
+
+        receiver = defense_receiver()
+        baseband = receiver.channelize(noisy)
+        upsampled = Waveform(
+            polyphase_resample(baseband.samples, baseband.sample_rate_hz, 20e6),
+            20e6,
+        )
+        received = detector.score_best_alignment(upsampled).mean_correlation
+        rows.append((label, pristine, received))
+
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Fig. 8: cyclic-prefix repetition is invisible at the receiver",
+        columns=["waveform", "cp_correlation_pristine", "cp_correlation_received"],
+    )
+    for label, pristine, received in rows:
+        result.add_row(
+            waveform=label,
+            cp_correlation_pristine=pristine,
+            cp_correlation_received=received,
+        )
+    original_rx = rows[0][2]
+    emulated_rx = rows[1][2]
+    result.notes.append(
+        f"received-side gap is only {abs(emulated_rx - original_rx):.3f} "
+        "in correlation — no reliable threshold, matching the paper's Fig. 8"
+    )
+    return result

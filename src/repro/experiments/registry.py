@@ -1,0 +1,83 @@
+"""Registry mapping paper artifact ids to experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig5_waveform_comparison,
+    fig6_constellation,
+    fig7_hamming,
+    fig8_cp_repetition,
+    fig9_possible_strategies,
+    fig10_c42,
+    fig11_c40,
+    fig12_defense,
+    fig13_rssi,
+    fig14_error_rates,
+    table1_frequency_points,
+    table2_attack_awgn,
+    table3_theoretical_cumulants,
+    table4_de2_snr,
+    table5_de2_distance,
+)
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible paper artifact."""
+
+    experiment_id: str
+    description: str
+    run: Callable[..., ExperimentResult]
+
+
+_ENTRIES = [
+    ExperimentEntry("table1", "FFT magnitudes and subcarrier selection",
+                    table1_frequency_points.run),
+    ExperimentEntry("table2", "attack success rate vs SNR (AWGN)",
+                    table2_attack_awgn.run),
+    ExperimentEntry("table3", "theoretical cumulants per constellation",
+                    table3_theoretical_cumulants.run),
+    ExperimentEntry("table4", "averaged D_E^2 vs SNR",
+                    table4_de2_snr.run),
+    ExperimentEntry("table5", "averaged D_E^2 vs distance (real env)",
+                    table5_de2_distance.run),
+    ExperimentEntry("fig5", "original vs emulated waveform I/Q",
+                    fig5_waveform_comparison.run),
+    ExperimentEntry("fig6", "constellation diagrams, AWGN vs real",
+                    fig6_constellation.run),
+    ExperimentEntry("fig7", "Hamming distance distributions",
+                    fig7_hamming.run),
+    ExperimentEntry("fig8", "cyclic-prefix baseline failure",
+                    fig8_cp_repetition.run),
+    ExperimentEntry("fig9", "phase/chip baseline failures",
+                    fig9_possible_strategies.run),
+    ExperimentEntry("fig10", "C42 vs SNR", fig10_c42.run),
+    ExperimentEntry("fig11", "C40 vs SNR", fig11_c40.run),
+    ExperimentEntry("fig12", "calibrated threshold defense test",
+                    fig12_defense.run),
+    ExperimentEntry("fig13", "RSSI vs distance (table in Fig. 13)",
+                    fig13_rssi.run),
+    ExperimentEntry("fig14", "error rates vs distance per receiver",
+                    fig14_error_rates.run),
+]
+
+REGISTRY: Dict[str, ExperimentEntry] = {e.experiment_id: e for e in _ENTRIES}
+
+
+def experiment_ids() -> List[str]:
+    """All reproducible artifact ids, in paper order."""
+    return [entry.experiment_id for entry in _ENTRIES]
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up one experiment; raises with the valid ids listed."""
+    if experiment_id not in REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; valid ids: {experiment_ids()}"
+        )
+    return REGISTRY[experiment_id]

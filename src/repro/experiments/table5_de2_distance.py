@@ -1,0 +1,110 @@
+"""Table V — averaged D_E^2 versus distance in the real environment.
+
+The paper places the transmitter 1-6 m from the USRP receiver, averages
+D_E^2 over 5000 waveform samples, and finds authentic ZigBee below 0.1
+and emulated above 1 at every distance, leaving the threshold interval
+[0.1, 1].  Our real-environment substitute (path loss -> SNR, Rician
+fading, random CFO/phase) reproduces the distance-independent gap; the
+detector uses the |C40| variant exactly as Sec. VI-C prescribes for
+offset channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.channel.environment import RealEnvironment
+from repro.defense.detector import CumulantDetector
+from repro.errors import SynchronizationError
+from repro.experiments.common import (
+    ExperimentResult,
+    prepare_authentic,
+    prepare_emulated,
+)
+from repro.experiments.defense_common import (
+    chip_noise_variance_for,
+    defense_receiver,
+    extract_chips,
+)
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+PAPER_TABLE5 = {
+    1: (0.0004, 1.1426),
+    2: (0.0007, 1.8706),
+    3: (0.0011, 1.4818),
+    4: (0.0103, 1.3215),
+    5: (0.0003, 2.0024),
+    6: (0.0007, 1.2152),
+}
+
+
+def run(
+    distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6),
+    waveforms_per_point: int = 30,
+    chip_source: str = "matched_filter",
+    noise_corrected: bool = True,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Average D_E^2 per class per distance under the real environment.
+
+    At several metres the in-band SNR drops to single digits, so the
+    defense relies on the paper's noise-variance subtraction (Sec. VI-B2)
+    over the linear matched-filter chips; without it the statistic of
+    *both* classes inflates with distance and the gap closes.
+    """
+    detector = CumulantDetector(use_abs_c40=True)
+    receiver = defense_receiver()
+    authentic = prepare_authentic()
+    emulated = prepare_emulated()
+    result = ExperimentResult(
+        experiment_id="table5",
+        title="Table V: averaged D_E^2 vs distance (real environment)",
+        columns=[
+            "distance_m", "snr_db", "zigbee_de2", "emulated_de2",
+            "paper_zigbee_de2", "paper_emulated_de2",
+        ],
+    )
+    base_rng = ensure_rng(rng)
+    env = RealEnvironment(rng=base_rng)
+    for distance in distances_m:
+        values = {"zigbee": [], "emulated": []}
+        for label, prepared in (("zigbee", authentic), ("emulated", emulated)):
+            for _ in range(waveforms_per_point):
+                channel = env.channel_at(distance)
+                try:
+                    packet = receiver.receive(channel.apply(prepared.on_air))
+                except SynchronizationError:
+                    continue
+                if not packet.decoded:
+                    continue
+                chips = extract_chips(packet, chip_source)
+                if chips.size < 8:
+                    continue
+                chip_noise = (
+                    chip_noise_variance_for(
+                        packet, chip_source, receiver.config.samples_per_chip
+                    )
+                    if noise_corrected
+                    else None
+                )
+                values[label].append(
+                    detector.statistic(
+                        chips, chip_noise_variance=chip_noise
+                    ).distance_squared
+                )
+        paper = PAPER_TABLE5.get(int(distance), (float("nan"), float("nan")))
+        result.add_row(
+            distance_m=distance,
+            snr_db=float(env.budget.snr_db(distance)),
+            zigbee_de2=float(np.mean(values["zigbee"])) if values["zigbee"] else float("nan"),
+            emulated_de2=float(np.mean(values["emulated"])) if values["emulated"] else float("nan"),
+            paper_zigbee_de2=paper[0],
+            paper_emulated_de2=paper[1],
+        )
+    result.notes.append(
+        "detector uses |C40| (Sec. VI-C) because the real environment adds "
+        "random frequency/phase offsets"
+    )
+    return result

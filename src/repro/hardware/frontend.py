@@ -1,0 +1,118 @@
+"""Generic radio front-end impairments.
+
+The paper's experiments run on USRP N210s and a TI CC26x2R1; we have no
+RF hardware, so :class:`FrontEnd` models the baseband-visible effects of
+one: DAC/ADC quantization, programmable gain (the paper sets "power gains
+at 0.75"), oscillator frequency error, and transmit IQ imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.signal_ops import Waveform, frequency_shift
+
+
+def quantize_iq(samples: np.ndarray, bits: int, full_scale: float) -> np.ndarray:
+    """Uniform mid-rise quantization of I and Q, with clipping.
+
+    Args:
+        samples: complex waveform.
+        bits: converter resolution (e.g. 14 for the N210 ADC).
+        full_scale: amplitude mapped to the converter's full range.
+    """
+    if bits < 1:
+        raise ConfigurationError("converter resolution must be >= 1 bit")
+    if full_scale <= 0:
+        raise ConfigurationError("full_scale must be positive")
+    array = np.asarray(samples, dtype=np.complex128)
+    levels = 1 << (bits - 1)
+    step = full_scale / levels
+
+    def _quantize(component: np.ndarray) -> np.ndarray:
+        clipped = np.clip(component, -full_scale, full_scale - step)
+        return (np.floor(clipped / step) + 0.5) * step
+
+    return _quantize(array.real) + 1j * _quantize(array.imag)
+
+
+def apply_iq_imbalance(
+    samples: np.ndarray, amplitude_db: float, phase_rad: float
+) -> np.ndarray:
+    """Gain/phase mismatch between the I and Q mixer arms."""
+    array = np.asarray(samples, dtype=np.complex128)
+    gain = 10.0 ** (amplitude_db / 20.0)
+    i = array.real
+    q = gain * (array.imag * np.cos(phase_rad) + array.real * np.sin(phase_rad))
+    return i + 1j * q
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Impairment budget of one radio front end.
+
+    Attributes:
+        gain: linear digital gain applied to the waveform (paper: 0.75).
+        dac_bits / adc_bits: converter resolutions.
+        full_scale: converter full-scale amplitude.
+        oscillator_ppm: worst-case oscillator error; the realized CFO is
+            drawn uniformly in +/-ppm at construction.
+        carrier_hz: carrier frequency the ppm error applies to.
+        iq_amplitude_db / iq_phase_rad: transmit IQ imbalance.
+    """
+
+    gain: float = 0.75
+    dac_bits: int = 16
+    adc_bits: int = 14
+    full_scale: float = 2.0
+    oscillator_ppm: float = 2.5
+    carrier_hz: float = 2.435e9
+    iq_amplitude_db: float = 0.0
+    iq_phase_rad: float = 0.0
+
+
+class FrontEnd:
+    """A transmit/receive front end with a fixed impairment realization."""
+
+    def __init__(self, config: FrontEndConfig = FrontEndConfig(), rng: RngLike = None):
+        if config.gain <= 0:
+            raise ConfigurationError("gain must be positive")
+        self.config = config
+        generator = ensure_rng(rng)
+        ppm = config.oscillator_ppm
+        self.cfo_hz = float(
+            config.carrier_hz * generator.uniform(-ppm, ppm) * 1e-6
+        )
+
+    def transmit(self, waveform: Waveform) -> Waveform:
+        """DAC quantization, gain, IQ imbalance, oscillator offset."""
+        config = self.config
+        samples = waveform.samples * config.gain
+        samples = quantize_iq(samples, config.dac_bits, config.full_scale)
+        if config.iq_amplitude_db != 0.0 or config.iq_phase_rad != 0.0:
+            samples = apply_iq_imbalance(
+                samples, config.iq_amplitude_db, config.iq_phase_rad
+            )
+        if self.cfo_hz != 0.0:
+            samples = frequency_shift(samples, self.cfo_hz, waveform.sample_rate_hz)
+        return waveform.with_samples(samples)
+
+    def receive(self, waveform: Waveform) -> Waveform:
+        """ADC quantization with automatic scaling to the converter range.
+
+        A real receiver's AGC keeps the signal inside the converter; we
+        model that by normalizing the peak to half of full scale before
+        quantizing, then restoring the original level.
+        """
+        config = self.config
+        samples = waveform.samples
+        peak = float(np.max(np.abs(samples))) if samples.size else 0.0
+        if peak == 0.0:
+            return waveform
+        agc = (config.full_scale / 2.0) / peak
+        quantized = quantize_iq(samples * agc, config.adc_bits, config.full_scale)
+        return waveform.with_samples(quantized / agc)

@@ -1,0 +1,47 @@
+"""Received signal strength indication (RSSI).
+
+The paper reports RSSI at the CC26x2R1 versus distance (the table in
+Fig. 13).  802.15.4 defines RSSI as the power averaged over 8 symbol
+periods after the antenna; we estimate it from baseband samples given an
+absolute calibration (dBm corresponding to unit sample power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform, linear_to_db
+from repro.zigbee.constants import SYMBOL_PERIOD_S
+
+#: 802.15.4 mandates averaging over 8 symbol periods (128 us).
+RSSI_AVERAGING_SYMBOLS = 8
+
+
+@dataclass(frozen=True)
+class RssiEstimator:
+    """Maps baseband sample power to a calibrated dBm reading.
+
+    Attributes:
+        reference_dbm: the RSSI reported for unit average sample power.
+        offset_db: per-device calibration offset (datasheet RSSI_OFFSET).
+    """
+
+    reference_dbm: float = -40.0
+    offset_db: float = 0.0
+
+    def estimate(self, waveform: Waveform, start: int = 0) -> float:
+        """RSSI in dBm over the standard 8-symbol window from ``start``."""
+        window = int(round(RSSI_AVERAGING_SYMBOLS * SYMBOL_PERIOD_S
+                           * waveform.sample_rate_hz))
+        samples = waveform.samples[start : start + window]
+        if samples.size == 0:
+            raise ConfigurationError("waveform too short for an RSSI window")
+        power = float(np.mean(np.abs(samples) ** 2))
+        return self.reference_dbm + self.offset_db + linear_to_db(power)
+
+    def estimate_from_power_dbm(self, received_power_dbm: float) -> float:
+        """RSSI implied by a link-budget RX power (for distance tables)."""
+        return received_power_dbm + self.offset_db

@@ -1,0 +1,80 @@
+"""USRP N210 platform model (the paper's SDR prototype).
+
+The N210 carries a 16-bit DAC / 14-bit ADC and a TCXO of ~2.5 ppm; the
+paper runs it with UBX-40 daughterboards at 2.4 GHz, gain 0.75, through
+GNU Radio.  The receive profile carries an *implementation loss*: the
+paper's own Fig. 14a shows the USRP software receiver failing beyond
+~7 m where the commodity chip still decodes, which we model as an SNR
+penalty relative to the ideal demodulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.frontend import FrontEnd, FrontEndConfig
+from repro.utils.rng import RngLike
+from repro.zigbee.receiver import ReceiverConfig
+
+USRP_N210_CONFIG = FrontEndConfig(
+    gain=0.75,
+    dac_bits=16,
+    adc_bits=14,
+    oscillator_ppm=2.5,
+)
+
+#: Receive-side SNR penalty of the GNU Radio software demodulator chain
+#: relative to an ideal coherent receiver (timing jitter, coarse CFO
+#: residue, float truncation).  Chosen so the USRP profile loses the
+#: packet race against the commodity profile around 6-7 m as in Fig. 14.
+USRP_IMPLEMENTATION_LOSS_DB = 2.0
+
+
+def usrp_receiver_config() -> ReceiverConfig:
+    """ZigBee receiver settings representing the USRP + GNU Radio chain.
+
+    GNU Radio's 802.15.4 block demodulates via the quadrature (frequency
+    discriminator) path — measurably less robust than the commodity
+    chip's coherent correlator, which is why the USRP receiver loses
+    Fig. 14's comparison.
+    """
+    return ReceiverConfig(
+        correlation_threshold=10,
+        sync_detection_threshold=0.35,
+        estimate_cfo=True,
+        implementation_loss_db=USRP_IMPLEMENTATION_LOSS_DB,
+        demodulation="quadrature",
+        decimation="filtered",
+    )
+
+
+def gnuradio_simulation_receiver_config() -> ReceiverConfig:
+    """The receiver profile matching the paper's *simulation* axes.
+
+    Quadrature demodulation plus naive (unfiltered) decimation: the full
+    20 MHz of channel noise folds into the 2 MHz band, which is the only
+    configuration under which the paper's SNR axis (Table II: 42 % attack
+    success at 7 dB rising to 100 % at 17 dB) lines up with ours.
+    """
+    return ReceiverConfig(
+        correlation_threshold=10,
+        sync_detection_threshold=0.35,
+        estimate_cfo=True,
+        demodulation="quadrature",
+        decimation="naive",
+    )
+
+
+@dataclass(frozen=True)
+class UsrpN210:
+    """Convenience bundle: front end + receiver profile of one N210."""
+
+    rng: RngLike = None
+
+    def front_end(self) -> FrontEnd:
+        """A fresh front-end realization (random CFO draw)."""
+        return FrontEnd(USRP_N210_CONFIG, rng=self.rng)
+
+    def receiver_config(self) -> ReceiverConfig:
+        """The matching ZigBee receiver profile."""
+        return usrp_receiver_config()

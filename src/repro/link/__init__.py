@@ -1,0 +1,51 @@
+"""End-to-end link simulation: APP/MAC/PHY stacks, channels, metrics."""
+
+from repro.link.arq import (
+    AckingReceiver,
+    ArqOutcome,
+    ArqSender,
+    build_ack,
+    parse_ack,
+)
+from repro.link.campaign import (
+    CampaignEvent,
+    CampaignSimulator,
+    DeviceStats,
+    GATEWAY_ADDRESS,
+)
+from repro.link.csma import (
+    BackoffOutcome,
+    CcaResult,
+    CsmaSender,
+    EnergyDetector,
+)
+from repro.link.messages import iter_messages, paper_text_corpus
+from repro.link.metrics import ErrorRateAccumulator, symbol_errors
+from repro.link.stack import (
+    EmulationAttackLink,
+    TransmissionOutcome,
+    ZigBeeDirectLink,
+)
+
+__all__ = [
+    "AckingReceiver",
+    "ArqOutcome",
+    "ArqSender",
+    "BackoffOutcome",
+    "CampaignEvent",
+    "CampaignSimulator",
+    "CcaResult",
+    "CsmaSender",
+    "DeviceStats",
+    "EmulationAttackLink",
+    "EnergyDetector",
+    "ErrorRateAccumulator",
+    "GATEWAY_ADDRESS",
+    "TransmissionOutcome",
+    "ZigBeeDirectLink",
+    "build_ack",
+    "iter_messages",
+    "paper_text_corpus",
+    "parse_ack",
+    "symbol_errors",
+]

@@ -1,0 +1,159 @@
+"""CSMA/CA channel sensing (Sec. IV-B of the paper).
+
+Before replaying the emulated waveform, the WiFi attacker "checks the
+channel availability using CSMA/CA" and "could sense the existence of
+nearby ZigBee devices".  This module implements energy-detection clear
+channel assessment (CCA) and a binary-exponential-backoff sender that
+defers while the medium is busy — so the attack examples can model the
+complete time-slotted procedure of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.signal_ops import Waveform, linear_to_db
+
+
+@dataclass(frozen=True)
+class CcaResult:
+    """One clear-channel assessment.
+
+    Attributes:
+        busy: whether the measured energy exceeded the threshold.
+        energy_db: measured window energy relative to unit power.
+    """
+
+    busy: bool
+    energy_db: float
+
+
+class EnergyDetector:
+    """Energy-detection CCA over a sliding window.
+
+    Args:
+        threshold_db: busy threshold relative to unit signal power.  A
+            typical CCA-ED threshold sits 10-20 dB above the noise floor.
+        window_s: assessment window (802.15.4 uses 8 symbol periods;
+            802.11 uses ~4 us slots — configurable).
+    """
+
+    def __init__(self, threshold_db: float = -15.0, window_s: float = 128e-6):
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        self.threshold_db = threshold_db
+        self.window_s = window_s
+
+    def window_samples(self, sample_rate_hz: float) -> int:
+        """CCA window length in samples for a given rate."""
+        return max(1, int(round(self.window_s * sample_rate_hz)))
+
+    def assess(self, waveform: Waveform, start: int = 0) -> CcaResult:
+        """Assess the window beginning at ``start``."""
+        window = self.window_samples(waveform.sample_rate_hz)
+        segment = waveform.samples[start : start + window]
+        if segment.size == 0:
+            raise ConfigurationError("assessment window is empty")
+        energy_db = linear_to_db(float(np.mean(np.abs(segment) ** 2)))
+        return CcaResult(busy=energy_db > self.threshold_db, energy_db=energy_db)
+
+    def busy_fraction(self, waveform: Waveform) -> float:
+        """Fraction of consecutive windows assessed busy."""
+        window = self.window_samples(waveform.sample_rate_hz)
+        count = waveform.samples.size // window
+        if count == 0:
+            raise ConfigurationError("waveform shorter than one CCA window")
+        busy = sum(
+            self.assess(waveform, start=i * window).busy for i in range(count)
+        )
+        return busy / count
+
+
+@dataclass
+class BackoffOutcome:
+    """Result of one CSMA/CA medium-access attempt.
+
+    Attributes:
+        transmitted: whether the sender eventually found the medium idle.
+        attempts: CCA attempts performed.
+        total_backoff_s: time spent deferring.
+        assessments: every CCA taken, in order.
+    """
+
+    transmitted: bool
+    attempts: int
+    total_backoff_s: float
+    assessments: List[CcaResult]
+
+
+class CsmaSender:
+    """Binary-exponential-backoff CSMA/CA around an :class:`EnergyDetector`.
+
+    Args:
+        detector: the CCA mechanism.
+        max_attempts: giving-up point (macMaxCSMABackoffs is 4 in
+            802.15.4; 802.11 retries more).
+        unit_backoff_s: backoff period duration.
+        min_exponent / max_exponent: binary exponential backoff bounds.
+    """
+
+    def __init__(
+        self,
+        detector: Optional[EnergyDetector] = None,
+        max_attempts: int = 5,
+        unit_backoff_s: float = 320e-6,
+        min_exponent: int = 3,
+        max_exponent: int = 5,
+        rng: RngLike = None,
+    ):
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if not 0 <= min_exponent <= max_exponent:
+            raise ConfigurationError("need 0 <= min_exponent <= max_exponent")
+        self.detector = detector or EnergyDetector()
+        self.max_attempts = max_attempts
+        self.unit_backoff_s = unit_backoff_s
+        self.min_exponent = min_exponent
+        self.max_exponent = max_exponent
+        self._rng = ensure_rng(rng)
+
+    def attempt(self, medium: Waveform) -> BackoffOutcome:
+        """Run the CSMA/CA procedure against a recorded medium trace.
+
+        The waveform models what the attacker's receiver hears over time;
+        the sender draws a random backoff, assesses the channel at the
+        corresponding offset, and transmits on the first idle CCA.
+        """
+        assessments: List[CcaResult] = []
+        elapsed_s = 0.0
+        exponent = self.min_exponent
+        for attempt in range(1, self.max_attempts + 1):
+            slots = int(self._rng.integers(0, (1 << exponent)))
+            elapsed_s += slots * self.unit_backoff_s
+            start = int(elapsed_s * medium.sample_rate_hz)
+            if start >= medium.samples.size:
+                start = medium.samples.size - 1
+            window = self.detector.window_samples(medium.sample_rate_hz)
+            start = min(start, max(medium.samples.size - window, 0))
+            result = self.detector.assess(medium, start=start)
+            assessments.append(result)
+            if not result.busy:
+                return BackoffOutcome(
+                    transmitted=True,
+                    attempts=attempt,
+                    total_backoff_s=elapsed_s,
+                    assessments=assessments,
+                )
+            exponent = min(exponent + 1, self.max_exponent)
+            elapsed_s += self.detector.window_s
+        return BackoffOutcome(
+            transmitted=False,
+            attempts=self.max_attempts,
+            total_backoff_s=elapsed_s,
+            assessments=assessments,
+        )

@@ -1,0 +1,27 @@
+"""APP-layer workloads.
+
+The paper's simulations and experiments send "the text from 00000 to
+00099" — one hundred five-character decimal strings.  These helpers
+generate that corpus and arbitrary-size variants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import ConfigurationError
+
+
+def paper_text_corpus(count: int = 100, width: int = 5) -> List[bytes]:
+    """The paper's workload: zero-padded decimal strings 00000..00099."""
+    if count < 1:
+        raise ConfigurationError("count must be positive")
+    if width < 1 or count > 10**width:
+        raise ConfigurationError(f"{count} values do not fit in width {width}")
+    return [str(i).zfill(width).encode("ascii") for i in range(count)]
+
+
+def iter_messages(count: int = 100, width: int = 5) -> Iterator[bytes]:
+    """Lazy variant of :func:`paper_text_corpus`."""
+    for payload in paper_text_corpus(count, width):
+        yield payload

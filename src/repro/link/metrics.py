@@ -1,0 +1,97 @@
+"""Error-rate accounting for link experiments (symbol / packet / chip)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def symbol_errors(
+    truth: Sequence[int], decoded: Sequence[Optional[int]]
+) -> int:
+    """Count mismatches; missing (``None``) decodes count as errors."""
+    truth_list = list(truth)
+    decoded_list = list(decoded)
+    errors = 0
+    for i, expected in enumerate(truth_list):
+        got = decoded_list[i] if i < len(decoded_list) else None
+        if got is None or got != expected:
+            errors += 1
+    return errors
+
+
+@dataclass
+class ErrorRateAccumulator:
+    """Running symbol/packet error counts across many transmissions.
+
+    Matches the paper's Fig. 14 metrics: "the packet is received
+    correctly only if all the symbols in the packet are exactly
+    received".
+    """
+
+    packets_sent: int = 0
+    packets_failed: int = 0
+    symbols_sent: int = 0
+    symbol_errors: int = 0
+    hamming_distances: List[int] = field(default_factory=list)
+
+    def record(
+        self,
+        truth_symbols: Sequence[int],
+        decoded_symbols: Sequence[Optional[int]],
+        packet_ok: bool,
+        hamming: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Account one transmission."""
+        truth_list = list(truth_symbols)
+        if not truth_list:
+            raise ConfigurationError("truth symbols must be non-empty")
+        errors = symbol_errors(truth_list, decoded_symbols)
+        self.packets_sent += 1
+        self.symbols_sent += len(truth_list)
+        self.symbol_errors += errors
+        if not packet_ok:
+            self.packets_failed += 1
+        if hamming is not None:
+            self.hamming_distances.extend(int(h) for h in hamming)
+
+    def record_lost(self, num_symbols: int) -> None:
+        """Account a transmission that never synchronized."""
+        if num_symbols < 1:
+            raise ConfigurationError("num_symbols must be positive")
+        self.packets_sent += 1
+        self.packets_failed += 1
+        self.symbols_sent += num_symbols
+        self.symbol_errors += num_symbols
+
+    @property
+    def packet_error_rate(self) -> float:
+        """Fraction of packets not received exactly."""
+        if self.packets_sent == 0:
+            raise ConfigurationError("no packets recorded")
+        return self.packets_failed / self.packets_sent
+
+    @property
+    def symbol_error_rate(self) -> float:
+        """Fraction of data symbols decoded incorrectly."""
+        if self.symbols_sent == 0:
+            raise ConfigurationError("no symbols recorded")
+        return self.symbol_errors / self.symbols_sent
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of packets received exactly (Table II's metric)."""
+        return 1.0 - self.packet_error_rate
+
+    def hamming_histogram(self, max_distance: int = 10) -> np.ndarray:
+        """Normalized histogram of per-symbol Hamming distances (Fig. 7)."""
+        counts = np.zeros(max_distance + 1, dtype=np.float64)
+        if not self.hamming_distances:
+            return counts
+        for distance in self.hamming_distances:
+            counts[min(distance, max_distance)] += 1
+        return counts / counts.sum()

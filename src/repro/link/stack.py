@@ -1,0 +1,169 @@
+"""End-to-end links: APP -> MAC -> PHY -> channel -> receiver.
+
+Two links mirror the paper's two communication paths (Sec. VII-B):
+
+* :class:`ZigBeeDirectLink` — authentic ZigBee transmitter to ZigBee
+  receiver.
+* :class:`EmulationAttackLink` — the WiFi attacker replays an emulated
+  version of the observed waveform to the same receiver.
+
+Both produce a :class:`TransmissionOutcome` carrying the ground truth,
+the receiver diagnostics, and derived error counts, so every experiment
+(Tables II/IV/V, Figs. 7-12, 14) is a thin loop over ``send``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.attack.emulator import EmulationResult, WaveformEmulationAttack
+from repro.channel.base import Channel, IdentityChannel
+from repro.errors import SynchronizationError
+from repro.hardware.frontend import FrontEnd
+from repro.link.metrics import symbol_errors
+from repro.utils.signal_ops import Waveform
+from repro.zigbee.frame import MacFrame
+from repro.zigbee.receiver import HEADER_SYMBOLS, ReceivedPacket, ZigBeeReceiver
+from repro.zigbee.transmitter import TransmitResult, ZigBeeTransmitter
+
+
+@dataclass
+class TransmissionOutcome:
+    """Everything known about one end-to-end transmission."""
+
+    sent: TransmitResult
+    packet: Optional[ReceivedPacket]
+    emulation: Optional[EmulationResult] = None
+
+    @property
+    def synchronized(self) -> bool:
+        """Whether the receiver found the frame at all."""
+        return self.packet is not None
+
+    @property
+    def delivered(self) -> bool:
+        """Paper's success criterion: the exact MAC frame was recovered."""
+        return (
+            self.packet is not None
+            and self.packet.fcs_ok
+            and self.packet.psdu == self.sent.ppdu[6:]
+        )
+
+    @property
+    def truth_psdu_symbols(self) -> np.ndarray:
+        """Ground-truth PSDU symbols of the transmitted frame."""
+        return self.sent.symbols[HEADER_SYMBOLS:]
+
+    @property
+    def psdu_symbol_errors(self) -> int:
+        """Symbol errors over the PSDU (all-errored when lost)."""
+        truth = self.truth_psdu_symbols
+        if self.packet is None:
+            return int(truth.size)
+        return symbol_errors(truth, self.packet.diagnostics.psdu_symbols)
+
+    @property
+    def hamming_distances(self) -> List[int]:
+        """Per-symbol chip Hamming distances ([] when lost)."""
+        if self.packet is None:
+            return []
+        return list(self.packet.diagnostics.hamming_distances)
+
+
+class ZigBeeDirectLink:
+    """Authentic ZigBee transmitter -> channel -> ZigBee receiver."""
+
+    def __init__(
+        self,
+        transmitter: Optional[ZigBeeTransmitter] = None,
+        receiver: Optional[ZigBeeReceiver] = None,
+        tx_front_end: Optional[FrontEnd] = None,
+        rx_front_end: Optional[FrontEnd] = None,
+    ):
+        self.transmitter = transmitter or ZigBeeTransmitter()
+        self.receiver = receiver or ZigBeeReceiver()
+        self.tx_front_end = tx_front_end
+        self.rx_front_end = rx_front_end
+
+    def _propagate(self, waveform: Waveform, channel: Channel) -> Waveform:
+        if self.tx_front_end is not None:
+            waveform = self.tx_front_end.transmit(waveform)
+        waveform = channel.apply(waveform)
+        if self.rx_front_end is not None:
+            waveform = self.rx_front_end.receive(waveform)
+        return waveform
+
+    def _receive(
+        self, sent: TransmitResult, waveform: Waveform, known_start: Optional[int]
+    ) -> TransmissionOutcome:
+        try:
+            packet = self.receiver.receive(waveform, known_start=known_start)
+        except SynchronizationError:
+            packet = None
+        return TransmissionOutcome(sent=sent, packet=packet)
+
+    def send(
+        self,
+        payload: bytes,
+        channel: Optional[Channel] = None,
+        sequence_number: int = 0,
+        known_start: Optional[int] = None,
+    ) -> TransmissionOutcome:
+        """Transmit one MAC data frame through ``channel``."""
+        sent = self.transmitter.transmit_payload(
+            payload, sequence_number=sequence_number
+        )
+        waveform = self._propagate(sent.waveform, channel or IdentityChannel())
+        return self._receive(sent, waveform, known_start)
+
+    def send_frame(
+        self,
+        frame: MacFrame,
+        channel: Optional[Channel] = None,
+        known_start: Optional[int] = None,
+    ) -> TransmissionOutcome:
+        """Transmit an explicit MAC frame."""
+        sent = self.transmitter.transmit_mac_frame(frame)
+        waveform = self._propagate(sent.waveform, channel or IdentityChannel())
+        return self._receive(sent, waveform, known_start)
+
+
+class EmulationAttackLink(ZigBeeDirectLink):
+    """The paper's attack path: observe, emulate, replay.
+
+    The ZigBee "transmitter" here only produces the waveform the attacker
+    *observed* during channel listening (time slot t1); what actually
+    propagates is the attacker's emulated WiFi waveform.
+    """
+
+    def __init__(
+        self,
+        attack: Optional[WaveformEmulationAttack] = None,
+        transmitter: Optional[ZigBeeTransmitter] = None,
+        receiver: Optional[ZigBeeReceiver] = None,
+        tx_front_end: Optional[FrontEnd] = None,
+        rx_front_end: Optional[FrontEnd] = None,
+    ):
+        super().__init__(transmitter, receiver, tx_front_end, rx_front_end)
+        self.attack = attack or WaveformEmulationAttack()
+
+    def send(
+        self,
+        payload: bytes,
+        channel: Optional[Channel] = None,
+        sequence_number: int = 0,
+        known_start: Optional[int] = None,
+    ) -> TransmissionOutcome:
+        """Emulate the observed frame and replay it through ``channel``."""
+        sent = self.transmitter.transmit_payload(
+            payload, sequence_number=sequence_number
+        )
+        emulation = self.attack.emulate(sent.waveform)
+        on_air = self.attack.transmit_waveform(emulation)
+        waveform = self._propagate(on_air, channel or IdentityChannel())
+        outcome = self._receive(sent, waveform, known_start)
+        outcome.emulation = emulation
+        return outcome

@@ -1,0 +1,56 @@
+"""Shared low-level utilities: bit manipulation, CRC, DSP helpers, RNG."""
+
+from repro.utils.bitops import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    int_to_bits,
+    hamming_distance,
+    pack_nibbles,
+    unpack_nibbles,
+)
+from repro.utils.crc import crc16_802154, verify_fcs, append_fcs
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.signal_ops import (
+    Waveform,
+    average_power,
+    db_to_linear,
+    linear_to_db,
+    fft_interpolate,
+    normalize_power,
+    papr_db,
+    polyphase_resample,
+    frequency_shift,
+)
+from repro.utils.spectrum import PowerSpectrum, band_power_ratio, welch_psd
+from repro.utils.terminal_plot import bar_chart, line_plot, scatter_plot
+
+__all__ = [
+    "PowerSpectrum",
+    "Waveform",
+    "append_fcs",
+    "average_power",
+    "band_power_ratio",
+    "bar_chart",
+    "bits_to_bytes",
+    "bits_to_int",
+    "bytes_to_bits",
+    "crc16_802154",
+    "db_to_linear",
+    "ensure_rng",
+    "fft_interpolate",
+    "frequency_shift",
+    "hamming_distance",
+    "int_to_bits",
+    "line_plot",
+    "linear_to_db",
+    "normalize_power",
+    "pack_nibbles",
+    "papr_db",
+    "polyphase_resample",
+    "scatter_plot",
+    "spawn_rngs",
+    "unpack_nibbles",
+    "verify_fcs",
+    "welch_psd",
+]

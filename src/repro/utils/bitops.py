@@ -1,0 +1,94 @@
+"""Bit- and byte-level helpers used throughout the PHY implementations.
+
+All bit arrays are ``numpy.ndarray`` of dtype ``uint8`` containing 0/1
+values.  802.15.4 and 802.11 both transmit bytes least-significant-bit
+first, so LSB-first is the default order everywhere in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _as_bit_array(bits: Iterable[int]) -> np.ndarray:
+    array = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+    array = array.astype(np.uint8)
+    if array.ndim != 1:
+        raise ConfigurationError(f"bit array must be 1-D, got shape {array.shape}")
+    if array.size and not np.all((array == 0) | (array == 1)):
+        raise ConfigurationError("bit array may only contain 0 and 1")
+    return array
+
+
+def bytes_to_bits(data: bytes, lsb_first: bool = True) -> np.ndarray:
+    """Expand ``data`` into a 0/1 array, LSB-first within each byte by default."""
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    bit_order = "little" if lsb_first else "big"
+    return np.unpackbits(raw, bitorder=bit_order).astype(np.uint8)
+
+
+def bits_to_bytes(bits: Iterable[int], lsb_first: bool = True) -> bytes:
+    """Pack a 0/1 array back into bytes; the length must be a multiple of 8."""
+    array = _as_bit_array(bits)
+    if array.size % 8 != 0:
+        raise ConfigurationError(
+            f"bit count {array.size} is not a multiple of 8; cannot pack bytes"
+        )
+    bit_order = "little" if lsb_first else "big"
+    return np.packbits(array, bitorder=bit_order).tobytes()
+
+
+def int_to_bits(value: int, width: int, lsb_first: bool = True) -> np.ndarray:
+    """Represent ``value`` as a fixed-width bit array."""
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    if value < 0 or value >= (1 << width):
+        raise ConfigurationError(f"value {value} does not fit in {width} bits")
+    bits = np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+    return bits if lsb_first else bits[::-1]
+
+
+def bits_to_int(bits: Iterable[int], lsb_first: bool = True) -> int:
+    """Interpret a bit array as an unsigned integer."""
+    array = _as_bit_array(bits)
+    ordered = array if lsb_first else array[::-1]
+    value = 0
+    for i, bit in enumerate(ordered):
+        value |= int(bit) << i
+    return value
+
+
+def unpack_nibbles(data: bytes) -> np.ndarray:
+    """Split bytes into 4-bit symbols, low nibble first (802.15.4 order)."""
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    nibbles = np.empty(raw.size * 2, dtype=np.uint8)
+    nibbles[0::2] = raw & 0x0F
+    nibbles[1::2] = raw >> 4
+    return nibbles
+
+
+def pack_nibbles(nibbles: Sequence[int]) -> bytes:
+    """Inverse of :func:`unpack_nibbles`; length must be even."""
+    array = np.asarray(nibbles, dtype=np.int64)
+    if array.size % 2 != 0:
+        raise ConfigurationError("nibble count must be even to pack into bytes")
+    if array.size and (array.min() < 0 or array.max() > 0xF):
+        raise ConfigurationError("nibbles must be in [0, 15]")
+    low = array[0::2].astype(np.uint8)
+    high = array[1::2].astype(np.uint8)
+    return ((high << 4) | low).astype(np.uint8).tobytes()
+
+
+def hamming_distance(a: Iterable[int], b: Iterable[int]) -> int:
+    """Number of positions at which two equal-length bit arrays differ."""
+    array_a = _as_bit_array(a)
+    array_b = _as_bit_array(b)
+    if array_a.size != array_b.size:
+        raise ConfigurationError(
+            f"length mismatch: {array_a.size} vs {array_b.size}"
+        )
+    return int(np.count_nonzero(array_a != array_b))

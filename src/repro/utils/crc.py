@@ -1,0 +1,60 @@
+"""CRC implementations.
+
+IEEE 802.15.4 uses a 16-bit ITU-T CRC (polynomial ``x^16 + x^12 + x^5 + 1``,
+i.e. 0x1021) computed over the MAC payload with zero initial value and the
+result appended least-significant byte first.  Bits within each byte are
+processed LSB-first, which is equivalent to the reflected polynomial 0x8408.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FcsError
+
+_CRC16_POLY_REFLECTED = 0x8408
+
+
+def _build_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint16)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC16_POLY_REFLECTED
+            else:
+                crc >>= 1
+        table[byte] = crc
+    return table
+
+
+_CRC16_TABLE = _build_table()
+
+
+def crc16_802154(data: bytes) -> int:
+    """Compute the 802.15.4 frame check sequence over ``data``."""
+    crc = 0x0000
+    for byte in bytes(data):
+        crc = (crc >> 8) ^ int(_CRC16_TABLE[(crc ^ byte) & 0xFF])
+    return crc & 0xFFFF
+
+
+def append_fcs(payload: bytes) -> bytes:
+    """Return ``payload`` with its 2-byte FCS appended (little-endian)."""
+    fcs = crc16_802154(payload)
+    return bytes(payload) + bytes([fcs & 0xFF, fcs >> 8])
+
+
+def verify_fcs(frame: bytes) -> bytes:
+    """Validate and strip the trailing FCS; raises :class:`FcsError` on failure."""
+    frame = bytes(frame)
+    if len(frame) < 2:
+        raise FcsError(f"frame of {len(frame)} bytes cannot contain an FCS")
+    payload, fcs_bytes = frame[:-2], frame[-2:]
+    expected = crc16_802154(payload)
+    received = fcs_bytes[0] | (fcs_bytes[1] << 8)
+    if expected != received:
+        raise FcsError(
+            f"FCS mismatch: computed 0x{expected:04X}, received 0x{received:04X}"
+        )
+    return payload

@@ -1,0 +1,72 @@
+"""Waveform persistence: save/load complex baseband captures as .npz.
+
+A tiny interchange format so captures can move between sessions, feed
+external tools, or be replayed later: samples (complex128), sample rate,
+and a free-form metadata dict of strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_waveform(
+    path: PathLike,
+    waveform: Waveform,
+    metadata: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write a waveform (and optional string metadata) to ``path``.
+
+    The ``.npz`` suffix is appended by numpy if missing.
+    """
+    meta = dict(metadata or {})
+    for key, value in meta.items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise ConfigurationError("metadata must map str -> str")
+    np.savez_compressed(
+        str(path),
+        samples=waveform.samples,
+        sample_rate_hz=np.float64(waveform.sample_rate_hz),
+        metadata=np.str_(json.dumps(meta, sort_keys=True)),
+        format_version=np.int64(_FORMAT_VERSION),
+    )
+
+
+def load_waveform(path: PathLike) -> Tuple[Waveform, Dict[str, str]]:
+    """Read a waveform and its metadata back from ``path``."""
+    target = Path(str(path))
+    if not target.exists():
+        candidate = target.with_name(target.name + ".npz")
+        if candidate.exists():
+            target = candidate
+        else:
+            raise ConfigurationError(f"no such capture: {path}")
+    with np.load(str(target), allow_pickle=False) as data:
+        required = {"samples", "sample_rate_hz", "metadata", "format_version"}
+        missing = required - set(data.files)
+        if missing:
+            raise ConfigurationError(
+                f"{target} is not a waveform capture (missing {sorted(missing)})"
+            )
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported capture format version {version}"
+            )
+        waveform = Waveform(
+            np.asarray(data["samples"], dtype=np.complex128),
+            float(data["sample_rate_hz"]),
+        )
+        metadata = json.loads(str(data["metadata"]))
+    return waveform, metadata

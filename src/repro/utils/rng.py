@@ -1,0 +1,33 @@
+"""Seeded random-number plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+``numpy.random.Generator``.  Simulations that need several independent
+streams (e.g. one per link) should use :func:`spawn_rngs` so that results
+stay reproducible when components are added or reordered.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``None`` / seed / Generator into a Generator."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from one source."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

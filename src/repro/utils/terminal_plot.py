@@ -1,0 +1,157 @@
+"""Terminal (ASCII) plotting for examples and quick inspection.
+
+The repository is matplotlib-free, but the paper's figures are worth
+*seeing*: these helpers render scatter plots (constellations), line plots
+(waveforms, spectra), and bar charts (histograms) as text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _bounds(values: np.ndarray, pad: float = 0.05) -> Tuple[float, float]:
+    low, high = float(np.min(values)), float(np.max(values))
+    if low == high:
+        low -= 0.5
+        high += 0.5
+    span = high - low
+    return low - pad * span, high + pad * span
+
+
+def scatter_plot(
+    points: np.ndarray,
+    width: int = 61,
+    height: int = 25,
+    title: Optional[str] = None,
+    axes: bool = True,
+) -> str:
+    """Render complex points as an ASCII scatter plot.
+
+    Density is shown with the ramp ``. : * #``; the I/Q axes are drawn
+    when they fall inside the plot range.
+    """
+    array = np.asarray(points, dtype=np.complex128)
+    if array.size == 0:
+        raise ConfigurationError("nothing to plot")
+    if width < 11 or height < 7:
+        raise ConfigurationError("plot must be at least 11x7 characters")
+    x_low, x_high = _bounds(array.real)
+    y_low, y_high = _bounds(array.imag)
+
+    counts = np.zeros((height, width), dtype=np.int64)
+    columns = ((array.real - x_low) / (x_high - x_low) * (width - 1)).astype(int)
+    rows = ((y_high - array.imag) / (y_high - y_low) * (height - 1)).astype(int)
+    for row, column in zip(rows, columns):
+        counts[row, column] += 1
+
+    ramp = " .:*#"
+    peak = counts.max()
+    grid = np.full((height, width), " ", dtype="<U1")
+    if axes:
+        if x_low < 0 < x_high:
+            column = int((0 - x_low) / (x_high - x_low) * (width - 1))
+            grid[:, column] = "|"
+        if y_low < 0 < y_high:
+            row = int((y_high - 0) / (y_high - y_low) * (height - 1))
+            grid[row, :] = "-"
+            if x_low < 0 < x_high:
+                grid[row, column] = "+"
+    for row in range(height):
+        for column in range(width):
+            if counts[row, column]:
+                level = 1 + int(3 * counts[row, column] / peak)
+                grid[row, column] = ramp[min(level, 4)]
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 2))
+    lines.append("+" + "-" * width + "+")
+    for row in range(height):
+        lines.append("|" + "".join(grid[row]) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f" I: [{x_low:+.2f}, {x_high:+.2f}]  Q: [{y_low:+.2f}, {y_high:+.2f}]"
+    )
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Sequence[Tuple[str, np.ndarray]],
+    width: int = 72,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_values: Optional[np.ndarray] = None,
+) -> str:
+    """Render one or more real-valued series as an ASCII line plot.
+
+    Each series gets its own marker (``o x + %``); all share the axes.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    markers = "ox+%"
+    arrays = [(name, np.asarray(values, dtype=np.float64))
+              for name, values in series]
+    longest = max(values.size for _, values in arrays)
+    if longest < 2:
+        raise ConfigurationError("series too short to plot")
+    stacked = np.concatenate([values for _, values in arrays])
+    y_low, y_high = _bounds(stacked)
+    if x_values is None:
+        x_low, x_high = 0.0, float(longest - 1)
+    else:
+        x_axis = np.asarray(x_values, dtype=np.float64)
+        x_low, x_high = _bounds(x_axis, pad=0.0)
+
+    grid = np.full((height, width), " ", dtype="<U1")
+    for index, (name, values) in enumerate(arrays):
+        marker = markers[index % len(markers)]
+        if x_values is None:
+            xs = np.linspace(x_low, x_high, values.size)
+        else:
+            xs = np.asarray(x_values, dtype=np.float64)[: values.size]
+        columns = ((xs - x_low) / (x_high - x_low) * (width - 1)).astype(int)
+        rows = ((y_high - values) / (y_high - y_low) * (height - 1)).astype(int)
+        rows = np.clip(rows, 0, height - 1)
+        columns = np.clip(columns, 0, width - 1)
+        for row, column in zip(rows, columns):
+            grid[row, column] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 2))
+    lines.append(f"{y_high:+10.3f} +" + "-" * width + "+")
+    for row in range(height):
+        prefix = " " * 11 + "|"
+        lines.append(prefix + "".join(grid[row]) + "|")
+    lines.append(f"{y_low:+10.3f} +" + "-" * width + "+")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, (name, _) in enumerate(arrays)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bar chart."""
+    if len(labels) != len(values) or not labels:
+        raise ConfigurationError("labels and values must be non-empty and align")
+    array = np.asarray(values, dtype=np.float64)
+    if np.any(array < 0):
+        raise ConfigurationError("bar chart values must be non-negative")
+    peak = float(array.max()) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, array):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:g}")
+    return "\n".join(lines)

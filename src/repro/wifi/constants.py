@@ -1,0 +1,81 @@
+"""IEEE 802.11a/g (ERP-OFDM) PHY constants.
+
+Numerology: 64 subcarriers over 20 MHz (0.3125 MHz spacing), 48 data + 4
+pilot subcarriers, 3.2 us useful symbol + 0.8 us cyclic prefix = 4 us per
+OFDM symbol — the figures the paper builds its emulation timing on (one
+WiFi symbol per quarter ZigBee symbol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+SAMPLE_RATE_HZ = 20_000_000.0
+FFT_SIZE = 64
+CP_LENGTH = 16
+SYMBOL_LENGTH = FFT_SIZE + CP_LENGTH  # 80 samples = 4 us
+SUBCARRIER_SPACING_HZ = SAMPLE_RATE_HZ / FFT_SIZE  # 312.5 kHz
+NUM_DATA_SUBCARRIERS = 48
+NUM_PILOT_SUBCARRIERS = 4
+
+#: Logical (signed) subcarrier indexes, in the order data bits fill them.
+DATA_SUBCARRIERS: Tuple[int, ...] = tuple(
+    k for k in range(-26, 27) if k != 0 and k not in (-21, -7, 7, 21)
+)
+PILOT_SUBCARRIERS: Tuple[int, ...] = (-21, -7, 7, 21)
+#: Base pilot values before polarity scrambling.
+PILOT_VALUES: Tuple[int, ...] = (1, 1, 1, -1)
+
+#: ZigBee channel 17 sits 5 MHz below a WiFi carrier at 2440 MHz; at
+#: 312.5 kHz spacing that is subcarrier -16, so the overlapped band is
+#: roughly data subcarriers [-20, -8] minus the pilot at -21/-7 edges —
+#: exactly the allocation called out in Sec. V-A4.
+ZIGBEE_OFFSET_SUBCARRIERS = -16
+
+
+def logical_to_fft_index(logical: int) -> int:
+    """Map a signed subcarrier index to its position in the FFT input."""
+    if not -FFT_SIZE // 2 <= logical < FFT_SIZE // 2:
+        raise ValueError(f"logical subcarrier {logical} out of range")
+    return logical % FFT_SIZE
+
+
+@dataclass(frozen=True)
+class RateParams:
+    """Modulation/coding parameters of one 802.11a/g rate."""
+
+    rate_mbps: int
+    modulation: str
+    bits_per_subcarrier: int  # N_BPSC
+    coding_rate: Tuple[int, int]  # (numerator, denominator)
+
+    @property
+    def coded_bits_per_symbol(self) -> int:
+        """N_CBPS."""
+        return self.bits_per_subcarrier * NUM_DATA_SUBCARRIERS
+
+    @property
+    def data_bits_per_symbol(self) -> int:
+        """N_DBPS."""
+        num, den = self.coding_rate
+        return self.coded_bits_per_symbol * num // den
+
+
+RATES: Dict[int, RateParams] = {
+    6: RateParams(6, "bpsk", 1, (1, 2)),
+    9: RateParams(9, "bpsk", 1, (3, 4)),
+    12: RateParams(12, "qpsk", 2, (1, 2)),
+    18: RateParams(18, "qpsk", 2, (3, 4)),
+    24: RateParams(24, "16qam", 4, (1, 2)),
+    36: RateParams(36, "16qam", 4, (3, 4)),
+    48: RateParams(48, "64qam", 6, (2, 3)),
+    54: RateParams(54, "64qam", 6, (3, 4)),
+}
+
+#: The attack operates at the 54 Mbps (64-QAM, rate 3/4) configuration the
+#: paper describes ("every 6 bits are mapped into one of the 64 QAM
+#: constellation points").
+DEFAULT_RATE_MBPS = 54

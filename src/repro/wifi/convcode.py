@@ -1,0 +1,177 @@
+"""Rate-1/2 K=7 convolutional coding with 802.11 puncturing and Viterbi.
+
+Generators are the industry-standard g0 = 133o, g1 = 171o.  Higher rates
+(2/3, 3/4) are produced by puncturing; the decoder treats punctured
+positions as erasures (zero branch metric).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+
+CONSTRAINT_LENGTH = 7
+NUM_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+G0 = 0o133
+G1 = 0o171
+
+#: Puncturing patterns over (A_i, B_i) pairs per puncturing period.
+#: A '1' keeps the bit, '0' deletes it.  Patterns follow IEEE 802.11-2016
+#: section 17.3.5.7.
+_PUNCTURE_PATTERNS: Dict[Tuple[int, int], np.ndarray] = {
+    (1, 2): np.array([1, 1], dtype=np.uint8),
+    (2, 3): np.array([1, 1, 1, 0], dtype=np.uint8),
+    (3, 4): np.array([1, 1, 1, 0, 0, 1], dtype=np.uint8),
+}
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+@lru_cache(maxsize=1)
+def _trellis() -> Tuple[np.ndarray, np.ndarray]:
+    """Precompute (next_state, output_pair) tables for all (state, bit)."""
+    next_state = np.zeros((NUM_STATES, 2), dtype=np.int64)
+    outputs = np.zeros((NUM_STATES, 2, 2), dtype=np.uint8)
+    for state in range(NUM_STATES):
+        for bit in range(2):
+            register = (bit << (CONSTRAINT_LENGTH - 1)) | state
+            out0 = _parity(register & G0)
+            out1 = _parity(register & G1)
+            next_state[state, bit] = register >> 1
+            outputs[state, bit, 0] = out0
+            outputs[state, bit, 1] = out1
+    return next_state, outputs
+
+
+def conv_encode(bits: np.ndarray) -> np.ndarray:
+    """Rate-1/2 encoding; the encoder starts and is left in state 0.
+
+    802.11 appends six tail zero bits at the MAC/PLCP level, so the
+    encoder itself performs no termination.
+    """
+    array = np.asarray(bits, dtype=np.uint8)
+    if array.ndim != 1:
+        raise ConfigurationError("bits must be 1-D")
+    next_state, outputs = _trellis()
+    coded = np.empty(2 * array.size, dtype=np.uint8)
+    state = 0
+    for i, bit in enumerate(array):
+        coded[2 * i] = outputs[state, bit, 0]
+        coded[2 * i + 1] = outputs[state, bit, 1]
+        state = int(next_state[state, bit])
+    return coded
+
+
+def puncture(coded: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+    """Delete coded bits per the 802.11 pattern for ``rate``."""
+    if rate not in _PUNCTURE_PATTERNS:
+        raise ConfigurationError(f"unsupported coding rate {rate}")
+    pattern = _PUNCTURE_PATTERNS[rate]
+    array = np.asarray(coded, dtype=np.uint8)
+    if array.size % pattern.size != 0:
+        raise ConfigurationError(
+            f"coded length {array.size} is not a multiple of the "
+            f"{pattern.size}-bit puncturing period"
+        )
+    mask = np.tile(pattern, array.size // pattern.size).astype(bool)
+    return array[mask]
+
+
+def depuncture(punctured: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+    """Re-insert erasures (value 2) at punctured positions."""
+    if rate not in _PUNCTURE_PATTERNS:
+        raise ConfigurationError(f"unsupported coding rate {rate}")
+    pattern = _PUNCTURE_PATTERNS[rate]
+    kept_per_period = int(pattern.sum())
+    array = np.asarray(punctured, dtype=np.uint8)
+    if array.size % kept_per_period != 0:
+        raise ConfigurationError(
+            f"punctured length {array.size} is not a multiple of "
+            f"{kept_per_period} kept bits per period"
+        )
+    periods = array.size // kept_per_period
+    full = np.full(periods * pattern.size, 2, dtype=np.uint8)
+    mask = np.tile(pattern, periods).astype(bool)
+    full[mask] = array
+    return full
+
+
+def viterbi_decode(coded: np.ndarray, num_data_bits: int) -> np.ndarray:
+    """Hard-decision Viterbi decoding with erasure support.
+
+    Args:
+        coded: rate-1/2 coded stream of 0/1 bits where the value 2 marks an
+            erasure (from :func:`depuncture`).
+        num_data_bits: number of information bits to recover; the stream
+            must contain exactly ``2 * num_data_bits`` entries.
+    """
+    array = np.asarray(coded, dtype=np.uint8)
+    if array.size != 2 * num_data_bits:
+        raise DecodingError(
+            f"expected {2 * num_data_bits} coded bits, got {array.size}"
+        )
+    next_state, outputs = _trellis()
+
+    # Reorganize transitions by destination for a vectorized forward pass:
+    # every state has exactly two predecessors.
+    predecessors = np.zeros((NUM_STATES, 2), dtype=np.int64)
+    pred_bits = np.zeros((NUM_STATES, 2), dtype=np.uint8)
+    pred_outputs = np.zeros((NUM_STATES, 2, 2), dtype=np.uint8)
+    counts = np.zeros(NUM_STATES, dtype=np.int64)
+    for state in range(NUM_STATES):
+        for bit in range(2):
+            destination = int(next_state[state, bit])
+            slot = counts[destination]
+            predecessors[destination, slot] = state
+            pred_bits[destination, slot] = bit
+            pred_outputs[destination, slot] = outputs[state, bit]
+            counts[destination] += 1
+
+    infinity = np.float64(1e18)
+    metrics = np.full(NUM_STATES, infinity)
+    metrics[0] = 0.0
+    history = np.zeros((num_data_bits, NUM_STATES), dtype=np.uint8)
+
+    pairs = array.reshape(num_data_bits, 2)
+    for step in range(num_data_bits):
+        received = pairs[step]
+        # Branch metric: Hamming distance over non-erased positions.
+        costs = np.zeros((NUM_STATES, 2))
+        for position in range(2):
+            if received[position] == 2:
+                continue
+            costs += (pred_outputs[:, :, position] != received[position]).astype(
+                np.float64
+            )
+        candidate = metrics[predecessors] + costs
+        choice = np.argmin(candidate, axis=1)
+        metrics = candidate[np.arange(NUM_STATES), choice]
+        history[step] = choice
+
+    # Trace back from the best final state (state 0 when tail bits were
+    # appended by the caller).
+    state = int(np.argmin(metrics))
+    decoded = np.empty(num_data_bits, dtype=np.uint8)
+    for step in range(num_data_bits - 1, -1, -1):
+        slot = history[step, state]
+        decoded[step] = pred_bits[state, slot]
+        state = int(predecessors[state, slot])
+    return decoded
+
+
+def encode_with_rate(bits: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+    """Encode at rate 1/2 then puncture to the requested rate."""
+    return puncture(conv_encode(bits), rate)
+
+
+def decode_with_rate(
+    punctured: np.ndarray, rate: Tuple[int, int], num_data_bits: int
+) -> np.ndarray:
+    """Depuncture then Viterbi-decode."""
+    return viterbi_decode(depuncture(punctured, rate), num_data_bits)

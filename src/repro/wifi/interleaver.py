@@ -1,0 +1,69 @@
+"""The 802.11 two-permutation block interleaver (one OFDM symbol deep)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@lru_cache(maxsize=8)
+def interleaver_permutation(coded_bits_per_symbol: int, bits_per_subcarrier: int) -> np.ndarray:
+    """Index map: output position j receives input bit ``perm[j]``.
+
+    Implements the two permutations of IEEE 802.11-2016 17.3.5.7: the
+    first spreads adjacent coded bits across subcarriers, the second
+    rotates bits within a subcarrier's constellation bits so long runs do
+    not land on low-reliability bit positions.
+    """
+    n_cbps = coded_bits_per_symbol
+    n_bpsc = bits_per_subcarrier
+    if n_cbps % 16 != 0:
+        raise ConfigurationError("N_CBPS must be a multiple of 16")
+    if n_bpsc < 1:
+        raise ConfigurationError("N_BPSC must be >= 1")
+    s = max(n_bpsc // 2, 1)
+
+    k = np.arange(n_cbps)
+    first = (n_cbps // 16) * (k % 16) + k // 16
+    i = first
+    second = s * (i // s) + (i + n_cbps - (16 * i // n_cbps)) % s
+    # ``second[k]`` is the output position of input bit k; invert to get a
+    # gather map.
+    gather = np.empty(n_cbps, dtype=np.int64)
+    gather[second] = k
+    gather.setflags(write=False)
+    return gather
+
+
+def _as_blocks(values: np.ndarray, coded_bits_per_symbol: int) -> np.ndarray:
+    # Hard bits stay uint8; soft values (LLRs) pass through as floats.
+    array = np.asarray(values)
+    if array.dtype.kind not in "fiu":
+        raise ConfigurationError("interleaver input must be numeric")
+    if array.dtype.kind in "iu":
+        array = array.astype(np.uint8)
+    if array.size % coded_bits_per_symbol != 0:
+        raise ConfigurationError(
+            f"bit count {array.size} is not a whole number of "
+            f"{coded_bits_per_symbol}-bit OFDM symbols"
+        )
+    return array.reshape(-1, coded_bits_per_symbol)
+
+
+def interleave(bits: np.ndarray, coded_bits_per_symbol: int, bits_per_subcarrier: int) -> np.ndarray:
+    """Interleave one or more whole OFDM symbols of coded bits (or LLRs)."""
+    blocks = _as_blocks(bits, coded_bits_per_symbol)
+    gather = interleaver_permutation(coded_bits_per_symbol, bits_per_subcarrier)
+    return blocks[:, gather].reshape(-1)
+
+
+def deinterleave(bits: np.ndarray, coded_bits_per_symbol: int, bits_per_subcarrier: int) -> np.ndarray:
+    """Inverse of :func:`interleave`; also accepts soft values."""
+    blocks = _as_blocks(bits, coded_bits_per_symbol)
+    gather = interleaver_permutation(coded_bits_per_symbol, bits_per_subcarrier)
+    scatter = np.empty_like(gather)
+    scatter[gather] = np.arange(gather.size)
+    return blocks[:, scatter].reshape(-1)

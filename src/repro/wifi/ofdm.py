@@ -1,0 +1,119 @@
+"""OFDM symbol assembly: subcarrier mapping, 64-IFFT, cyclic prefix.
+
+This is the right-hand half of Fig. 2 and also the engine the attacker
+re-uses: the emulated ZigBee waveform is nothing but quantized frequency
+points pushed through this exact IFFT + cyclic-prefix pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wifi.constants import (
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    PILOT_SUBCARRIERS,
+    PILOT_VALUES,
+    SYMBOL_LENGTH,
+    logical_to_fft_index,
+)
+from repro.wifi.scrambler import pilot_polarity_sequence
+
+_DATA_FFT_INDEXES = np.array(
+    [logical_to_fft_index(k) for k in DATA_SUBCARRIERS], dtype=np.int64
+)
+_PILOT_FFT_INDEXES = np.array(
+    [logical_to_fft_index(k) for k in PILOT_SUBCARRIERS], dtype=np.int64
+)
+_PILOT_BASE = np.asarray(PILOT_VALUES, dtype=np.float64)
+
+
+def map_subcarriers(
+    data_points: Sequence[complex], symbol_index: int = 0, include_pilots: bool = True
+) -> np.ndarray:
+    """Place 48 data points plus pilots/nulls into a 64-bin FFT vector."""
+    points = np.asarray(data_points, dtype=np.complex128)
+    if points.size != len(DATA_SUBCARRIERS):
+        raise ConfigurationError(
+            f"need exactly {len(DATA_SUBCARRIERS)} data points, got {points.size}"
+        )
+    bins = np.zeros(FFT_SIZE, dtype=np.complex128)
+    bins[_DATA_FFT_INDEXES] = points
+    if include_pilots:
+        polarity = pilot_polarity_sequence()[symbol_index % 127]
+        bins[_PILOT_FFT_INDEXES] = _PILOT_BASE * polarity
+    return bins
+
+
+def extract_data_subcarriers(bins: np.ndarray) -> np.ndarray:
+    """Pull the 48 data points back out of a 64-bin FFT vector."""
+    array = np.asarray(bins, dtype=np.complex128)
+    if array.size != FFT_SIZE:
+        raise ConfigurationError(f"expected {FFT_SIZE} bins, got {array.size}")
+    return array[_DATA_FFT_INDEXES]
+
+
+def ofdm_modulate_bins(bins: np.ndarray) -> np.ndarray:
+    """64-IFFT + cyclic prefix for one pre-mapped bin vector.
+
+    Output is 80 samples (4 us at 20 Msps).  No additional scaling is
+    applied; callers normalize transmit power at the waveform level.
+    """
+    array = np.asarray(bins, dtype=np.complex128)
+    if array.size != FFT_SIZE:
+        raise ConfigurationError(f"expected {FFT_SIZE} bins, got {array.size}")
+    time_domain = np.fft.ifft(array) * np.sqrt(FFT_SIZE)
+    return np.concatenate([time_domain[-CP_LENGTH:], time_domain])
+
+
+def ofdm_demodulate_symbol(samples: np.ndarray) -> np.ndarray:
+    """Strip the cyclic prefix and FFT one 80-sample OFDM symbol."""
+    array = np.asarray(samples, dtype=np.complex128)
+    if array.size != SYMBOL_LENGTH:
+        raise ConfigurationError(
+            f"expected {SYMBOL_LENGTH} samples, got {array.size}"
+        )
+    return np.fft.fft(array[CP_LENGTH:]) / np.sqrt(FFT_SIZE)
+
+
+def assemble_symbols(
+    data_points: np.ndarray,
+    first_symbol_index: int = 0,
+    include_pilots: bool = True,
+) -> np.ndarray:
+    """Build a waveform from consecutive blocks of 48 data points.
+
+    Args:
+        data_points: array whose length is a multiple of 48.
+        first_symbol_index: pilot-polarity index of the first symbol (the
+            SIGNAL field is index 0, the first data symbol index 1).
+        include_pilots: disable to transmit data-only symbols (used by the
+            attack's "bins-only" mode).
+    """
+    points = np.asarray(data_points, dtype=np.complex128)
+    per_symbol = len(DATA_SUBCARRIERS)
+    if points.size % per_symbol != 0:
+        raise ConfigurationError(
+            f"data point count {points.size} is not a multiple of {per_symbol}"
+        )
+    blocks = points.reshape(-1, per_symbol)
+    waveform = np.empty(blocks.shape[0] * SYMBOL_LENGTH, dtype=np.complex128)
+    for i, block in enumerate(blocks):
+        bins = map_subcarriers(
+            block, symbol_index=first_symbol_index + i, include_pilots=include_pilots
+        )
+        waveform[i * SYMBOL_LENGTH : (i + 1) * SYMBOL_LENGTH] = ofdm_modulate_bins(bins)
+    return waveform
+
+
+def split_symbols(samples: np.ndarray) -> np.ndarray:
+    """Reshape a waveform into whole 80-sample OFDM symbols (rows)."""
+    array = np.asarray(samples, dtype=np.complex128)
+    count = array.size // SYMBOL_LENGTH
+    if count == 0:
+        raise ConfigurationError("waveform shorter than one OFDM symbol")
+    return array[: count * SYMBOL_LENGTH].reshape(count, SYMBOL_LENGTH)

@@ -1,0 +1,123 @@
+"""802.11a/g PLCP preamble: short training field, long training field,
+and the SIGNAL field.
+
+The preamble matters to the reproduction because a real attacker's frame
+begins with 16 us of training symbols and a SIGNAL symbol *before* the
+emulated ZigBee waveform; the paper works around receiver alignment by
+prepending zeros ("we add 10 zero points at the beginning of each
+emulated packet"), which our link layer also supports.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import int_to_bits
+from repro.wifi.constants import CP_LENGTH, FFT_SIZE, RATES, logical_to_fft_index
+from repro.wifi.convcode import conv_encode
+from repro.wifi.interleaver import interleave
+from repro.wifi.ofdm import map_subcarriers, ofdm_modulate_bins
+from repro.wifi.qam import modulation_for_name
+
+#: Non-zero entries of the short-training frequency sequence S_{-26..26}
+#: (IEEE 802.11-2016 Eq. 17-24), before the sqrt(13/6) scaling.
+_STF_NONZERO = {
+    -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j, -8: -1 - 1j,
+    -4: 1 + 1j, 4: -1 - 1j, 8: -1 - 1j, 12: 1 + 1j, 16: 1 + 1j,
+    20: 1 + 1j, 24: 1 + 1j,
+}
+
+#: Long-training sequence L_{-26..26} (Eq. 17-27).
+_LTF_SEQUENCE = np.array(
+    [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1,
+     -1, 1, 1, 1, 1, 0, 1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1,
+     1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1],
+    dtype=np.float64,
+)
+
+#: RATE field encoding for the SIGNAL symbol (Table 17-6).
+_RATE_FIELD_BITS = {
+    6: 0b1101, 9: 0b1111, 12: 0b0101, 18: 0b0111,
+    24: 0b1001, 36: 0b1011, 48: 0b0001, 54: 0b0011,
+}
+
+
+@lru_cache(maxsize=1)
+def short_training_field() -> np.ndarray:
+    """The 160-sample (8 us) STF: 10 repetitions of a 16-sample symbol."""
+    bins = np.zeros(FFT_SIZE, dtype=np.complex128)
+    scale = np.sqrt(13.0 / 6.0)
+    for logical, value in _STF_NONZERO.items():
+        bins[logical_to_fft_index(logical)] = scale * value
+    period = np.fft.ifft(bins) * np.sqrt(FFT_SIZE)
+    field = np.tile(period[:16], 10)
+    field.setflags(write=False)
+    return field
+
+
+@lru_cache(maxsize=1)
+def long_training_field() -> np.ndarray:
+    """The 160-sample LTF: 32-sample guard + two 64-sample long symbols."""
+    bins = np.zeros(FFT_SIZE, dtype=np.complex128)
+    for offset, value in zip(range(-26, 27), _LTF_SEQUENCE):
+        bins[logical_to_fft_index(offset)] = value
+    symbol = np.fft.ifft(bins) * np.sqrt(FFT_SIZE)
+    field = np.concatenate([symbol[-32:], symbol, symbol])
+    field.setflags(write=False)
+    return field
+
+
+@lru_cache(maxsize=1)
+def ltf_frequency_sequence() -> np.ndarray:
+    """L_k as a 64-bin vector for channel estimation at the receiver."""
+    bins = np.zeros(FFT_SIZE, dtype=np.complex128)
+    for offset, value in zip(range(-26, 27), _LTF_SEQUENCE):
+        bins[logical_to_fft_index(offset)] = value
+    bins.setflags(write=False)
+    return bins
+
+
+def signal_field_bits(rate_mbps: int, length_bytes: int) -> np.ndarray:
+    """The 24-bit SIGNAL content: RATE, LENGTH, parity, tail."""
+    if rate_mbps not in RATES:
+        raise ConfigurationError(f"unsupported rate {rate_mbps} Mbps")
+    if not 1 <= length_bytes <= 4095:
+        raise ConfigurationError("PSDU length must be 1..4095 bytes")
+    bits = np.zeros(24, dtype=np.uint8)
+    bits[0:4] = int_to_bits(_RATE_FIELD_BITS[rate_mbps], 4, lsb_first=False)
+    # bit 4 reserved = 0; bits 5..16 LENGTH, LSB first.
+    bits[5:17] = int_to_bits(length_bytes, 12, lsb_first=True)
+    bits[17] = int(bits[0:17].sum()) % 2  # even parity
+    # bits 18..23 tail zeros.
+    return bits
+
+
+def signal_field_waveform(rate_mbps: int, length_bytes: int) -> np.ndarray:
+    """The SIGNAL OFDM symbol: BPSK, rate 1/2, never scrambled."""
+    bits = signal_field_bits(rate_mbps, length_bytes)
+    coded = conv_encode(bits)
+    interleaved = interleave(coded, coded_bits_per_symbol=48, bits_per_subcarrier=1)
+    points = modulation_for_name("bpsk").modulate(interleaved)
+    bins = map_subcarriers(points, symbol_index=0)
+    return ofdm_modulate_bins(bins)
+
+
+def parse_signal_field(bits: np.ndarray) -> Tuple[int, int]:
+    """Decode (rate_mbps, length_bytes) from 24 SIGNAL bits."""
+    array = np.asarray(bits, dtype=np.uint8)
+    if array.size != 24:
+        raise ConfigurationError("SIGNAL field is exactly 24 bits")
+    if int(array[0:18].sum()) % 2 != 0:
+        raise ConfigurationError("SIGNAL parity check failed")
+    rate_code = int("".join(str(b) for b in array[0:4]), 2)
+    rate_map = {code: rate for rate, code in _RATE_FIELD_BITS.items()}
+    if rate_code not in rate_map:
+        raise ConfigurationError(f"unknown RATE code 0b{rate_code:04b}")
+    length = 0
+    for i, bit in enumerate(array[5:17]):
+        length |= int(bit) << i
+    return rate_map[rate_code], length

@@ -1,0 +1,136 @@
+"""Gray-coded square QAM/PSK constellation mappers per IEEE 802.11.
+
+Each modulation maps ``bits_per_symbol`` bits to one complex point with
+the standard normalization factor so that average constellation power is
+one (1/sqrt(42) for 64-QAM — the alpha structure the attack's QAM
+quantization optimizes over).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Gray mapping of bit-groups to amplitude levels, per 802.11 Table 17-x.
+_GRAY_LEVELS: Dict[int, Dict[int, int]] = {
+    1: {0: -1, 1: 1},
+    2: {0b00: -3, 0b01: -1, 0b11: 1, 0b10: 3},
+    3: {
+        0b000: -7,
+        0b001: -5,
+        0b011: -3,
+        0b010: -1,
+        0b110: 1,
+        0b111: 3,
+        0b101: 5,
+        0b100: 7,
+    },
+}
+
+#: Normalization: average power of the (I, Q) level grids.
+_NORMALIZATION: Dict[str, float] = {
+    "bpsk": 1.0,
+    "qpsk": np.sqrt(2.0),
+    "16qam": np.sqrt(10.0),
+    "64qam": np.sqrt(42.0),
+}
+
+_BITS_PER_SYMBOL: Dict[str, int] = {"bpsk": 1, "qpsk": 2, "16qam": 4, "64qam": 6}
+
+
+@dataclass(frozen=True)
+class QamModulation:
+    """One square constellation with Gray bit mapping."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _BITS_PER_SYMBOL:
+            raise ConfigurationError(
+                f"unknown modulation {self.name!r}; "
+                f"expected one of {sorted(_BITS_PER_SYMBOL)}"
+            )
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits carried by one constellation point (N_BPSC)."""
+        return _BITS_PER_SYMBOL[self.name]
+
+    @property
+    def normalization(self) -> float:
+        """K_MOD: points are integer levels divided by this factor."""
+        return _NORMALIZATION[self.name]
+
+    @property
+    def axis_levels(self) -> np.ndarray:
+        """The per-axis integer amplitude levels (e.g. odd -7..7)."""
+        if self.name == "bpsk":
+            return np.array([-1, 1], dtype=np.float64)
+        half_bits = self.bits_per_symbol // 2
+        levels = sorted(_GRAY_LEVELS[half_bits].values())
+        return np.asarray(levels, dtype=np.float64)
+
+    def constellation(self) -> np.ndarray:
+        """All points in bit-value order (index = bits as integer, MSB first)."""
+        return _constellation_for(self.name)
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit stream (length multiple of N_BPSC) to points."""
+        array = np.asarray(bits, dtype=np.uint8)
+        bps = self.bits_per_symbol
+        if array.size % bps != 0:
+            raise ConfigurationError(
+                f"bit count {array.size} is not a multiple of {bps}"
+            )
+        groups = array.reshape(-1, bps)
+        weights = 1 << np.arange(bps - 1, -1, -1)
+        indexes = groups @ weights
+        return self.constellation()[indexes]
+
+    def demodulate(self, points: np.ndarray) -> np.ndarray:
+        """Hard-decision demap: nearest constellation point -> bits."""
+        array = np.asarray(points, dtype=np.complex128)
+        table = self.constellation()
+        distances = np.abs(array[:, None] - table[None, :])
+        indexes = np.argmin(distances, axis=1)
+        bps = self.bits_per_symbol
+        bits = (
+            (indexes[:, None] >> np.arange(bps - 1, -1, -1)[None, :]) & 1
+        ).astype(np.uint8)
+        return bits.reshape(-1)
+
+    def quantize(self, points: np.ndarray) -> np.ndarray:
+        """Snap arbitrary complex values to the nearest normalized point."""
+        array = np.asarray(points, dtype=np.complex128)
+        table = self.constellation()
+        distances = np.abs(array[:, None] - table[None, :])
+        return table[np.argmin(distances, axis=1)]
+
+
+@lru_cache(maxsize=8)
+def _constellation_for(name: str) -> np.ndarray:
+    bps = _BITS_PER_SYMBOL[name]
+    norm = _NORMALIZATION[name]
+    if name == "bpsk":
+        points = np.array([-1.0 + 0j, 1.0 + 0j])
+    else:
+        half = bps // 2
+        levels = _GRAY_LEVELS[half]
+        points = np.empty(1 << bps, dtype=np.complex128)
+        for value in range(1 << bps):
+            i_bits = value >> half
+            q_bits = value & ((1 << half) - 1)
+            points[value] = levels[i_bits] + 1j * levels[q_bits]
+    points = points / norm
+    points.setflags(write=False)
+    return points
+
+
+def modulation_for_name(name: str) -> QamModulation:
+    """Factory with validation, shared by the WiFi chain and the attack."""
+    return QamModulation(name=name)

@@ -1,0 +1,256 @@
+"""A reference 802.11g OFDM receiver.
+
+Used for round-trip testing of the transmitter and by the codeword-
+constrained attack extension (which must know what a compliant receiver
+would decode).  The receiver performs LTF-based channel estimation, data
+symbol FFT and equalization, pilot common-phase correction, hard QAM
+demapping, deinterleaving, depuncturing, Viterbi decoding, and
+descrambling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.utils.bitops import bits_to_bytes
+from repro.utils.signal_ops import Waveform
+from repro.wifi.constants import (
+    CP_LENGTH,
+    DEFAULT_RATE_MBPS,
+    FFT_SIZE,
+    PILOT_SUBCARRIERS,
+    PILOT_VALUES,
+    RATES,
+    SYMBOL_LENGTH,
+    logical_to_fft_index,
+)
+from repro.wifi.convcode import decode_with_rate
+from repro.wifi.interleaver import deinterleave
+from repro.wifi.ofdm import extract_data_subcarriers, ofdm_demodulate_symbol
+from repro.wifi.preamble import ltf_frequency_sequence
+from repro.wifi.qam import modulation_for_name
+from repro.wifi.scrambler import descramble
+from repro.wifi.transmitter import SERVICE_BITS, TAIL_BITS
+
+PREAMBLE_SAMPLES = 320  # STF (160) + LTF (160)
+SIGNAL_SAMPLES = SYMBOL_LENGTH
+
+_PILOT_FFT_INDEXES = np.array(
+    [logical_to_fft_index(k) for k in PILOT_SUBCARRIERS], dtype=np.int64
+)
+_PILOT_BASE = np.asarray(PILOT_VALUES, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class WifiReceiveResult:
+    """Decoded PSDU plus receiver internals for diagnostics."""
+
+    psdu: bytes
+    data_points: np.ndarray
+    channel_estimate: np.ndarray
+
+
+class WifiReceiver:
+    """Reference OFDM receiver for a known rate and frame layout.
+
+    Args:
+        rate_mbps: 802.11a/g rate of the expected frames.
+        scrambler_seed: transmitter scrambler seed.
+        soft_decision: demap to LLRs and run a soft-input Viterbi instead
+            of hard decisions (~2 dB better at low SNR).
+    """
+
+    def __init__(
+        self,
+        rate_mbps: int = DEFAULT_RATE_MBPS,
+        scrambler_seed: int = 0x5D,
+        soft_decision: bool = False,
+    ):
+        if rate_mbps not in RATES:
+            raise ConfigurationError(f"unsupported rate {rate_mbps}")
+        self.params = RATES[rate_mbps]
+        self.scrambler_seed = scrambler_seed
+        self.soft_decision = soft_decision
+        self._modulation = modulation_for_name(self.params.modulation)
+
+    def estimate_channel(self, ltf_samples: np.ndarray) -> np.ndarray:
+        """Average the two long training symbols and divide by L_k."""
+        array = np.asarray(ltf_samples, dtype=np.complex128)
+        if array.size != 160:
+            raise ConfigurationError("LTF is exactly 160 samples")
+        first = np.fft.fft(array[32:96]) / np.sqrt(FFT_SIZE)
+        second = np.fft.fft(array[96:160]) / np.sqrt(FFT_SIZE)
+        reference = ltf_frequency_sequence()
+        estimate = np.ones(FFT_SIZE, dtype=np.complex128)
+        used = reference != 0
+        estimate[used] = 0.5 * (first[used] + second[used]) / reference[used]
+        return estimate
+
+    def decode_psdu(
+        self,
+        waveform: Waveform,
+        psdu_bytes: int,
+        frame_start: int = 0,
+        has_preamble: bool = True,
+    ) -> WifiReceiveResult:
+        """Decode a frame whose timing and length are known.
+
+        Args:
+            waveform: 20 Msps baseband containing the frame.
+            psdu_bytes: expected PSDU length.
+            frame_start: sample index of the frame start.
+            has_preamble: whether STF/LTF/SIGNAL precede the data symbols.
+        """
+        if abs(waveform.sample_rate_hz - 20e6) > 1e-3:
+            raise ConfigurationError("WiFi receiver expects 20 Msps input")
+        samples = waveform.samples[frame_start:]
+
+        if has_preamble:
+            if samples.size < PREAMBLE_SAMPLES + SIGNAL_SAMPLES:
+                raise DecodingError("waveform shorter than the PLCP header")
+            channel = self.estimate_channel(samples[160:320])
+            data_start = PREAMBLE_SAMPLES + SIGNAL_SAMPLES
+        else:
+            channel = np.ones(FFT_SIZE, dtype=np.complex128)
+            data_start = 0
+
+        total_bits = SERVICE_BITS + 8 * psdu_bytes + TAIL_BITS
+        ndbps = self.params.data_bits_per_symbol
+        num_symbols = -(-total_bits // ndbps)
+        needed = data_start + num_symbols * SYMBOL_LENGTH
+        if samples.size < needed:
+            raise DecodingError(
+                f"waveform has {samples.size} samples, frame needs {needed}"
+            )
+
+        points = np.empty(num_symbols * 48, dtype=np.complex128)
+        for i in range(num_symbols):
+            start = data_start + i * SYMBOL_LENGTH
+            bins = ofdm_demodulate_symbol(samples[start : start + SYMBOL_LENGTH])
+            equalized = np.divide(
+                bins, channel, out=np.zeros_like(bins), where=channel != 0
+            )
+            equalized = self._correct_common_phase(equalized, symbol_index=1 + i)
+            points[i * 48 : (i + 1) * 48] = extract_data_subcarriers(equalized)
+
+        if self.soft_decision:
+            from repro.wifi.softdemap import (
+                depuncture_soft,
+                soft_demodulate,
+                viterbi_decode_soft,
+            )
+
+            llrs = soft_demodulate(points, self._modulation)
+            # The interleaver permutes whole constellation-bit groups, so
+            # soft values deinterleave with the same index map.
+            blocks = llrs.reshape(-1, self.params.coded_bits_per_symbol)
+            deinterleaved_llrs = deinterleave(
+                blocks.reshape(-1),
+                coded_bits_per_symbol=self.params.coded_bits_per_symbol,
+                bits_per_subcarrier=self.params.bits_per_subcarrier,
+            )
+            full_llrs = depuncture_soft(
+                deinterleaved_llrs, self.params.coding_rate
+            )
+            scrambled = viterbi_decode_soft(full_llrs, num_symbols * ndbps)
+        else:
+            coded_bits = self._modulation.demodulate(points)
+            deinterleaved = deinterleave(
+                coded_bits,
+                coded_bits_per_symbol=self.params.coded_bits_per_symbol,
+                bits_per_subcarrier=self.params.bits_per_subcarrier,
+            )
+            scrambled = decode_with_rate(
+                deinterleaved, self.params.coding_rate, num_symbols * ndbps
+            )
+        descrambled = descramble(scrambled, seed=self.scrambler_seed)
+        psdu_bits = descrambled[SERVICE_BITS : SERVICE_BITS + 8 * psdu_bytes]
+        return WifiReceiveResult(
+            psdu=bits_to_bytes(psdu_bits),
+            data_points=points,
+            channel_estimate=channel,
+        )
+
+    def receive(self, waveform: Waveform, psdu_bytes: int) -> WifiReceiveResult:
+        """Standalone reception: acquire the frame, then decode it.
+
+        Uses the Schmidl-Cox synchronizer (STF plateau + LTF fine timing
+        + two-stage CFO) so no genie timing is needed.
+        """
+        from repro.wifi.sync import WifiSynchronizer
+
+        synchronizer = WifiSynchronizer()
+        sync = synchronizer.synchronize(waveform)
+        corrected = synchronizer.correct(waveform, sync)
+        return self.decode_psdu(
+            corrected, psdu_bytes=psdu_bytes, frame_start=sync.frame_start
+        )
+
+    def decode_signal_field(
+        self, waveform: Waveform, frame_start: int = 0
+    ) -> "tuple[int, int]":
+        """Decode the SIGNAL symbol: returns (rate_mbps, psdu_bytes).
+
+        The SIGNAL field is always BPSK rate 1/2 and never scrambled, so
+        it can be decoded before the payload rate is known.
+        """
+        from repro.wifi.preamble import parse_signal_field
+
+        samples = waveform.samples[frame_start:]
+        if samples.size < PREAMBLE_SAMPLES + SIGNAL_SAMPLES:
+            raise DecodingError("waveform shorter than the PLCP header")
+        channel = self.estimate_channel(samples[160:320])
+        bins = ofdm_demodulate_symbol(
+            samples[PREAMBLE_SAMPLES : PREAMBLE_SAMPLES + SIGNAL_SAMPLES]
+        )
+        equalized = np.divide(
+            bins, channel, out=np.zeros_like(bins), where=channel != 0
+        )
+        equalized = self._correct_common_phase(equalized, symbol_index=0)
+        points = extract_data_subcarriers(equalized)
+        bits = modulation_for_name("bpsk").demodulate(points)
+        deinterleaved = deinterleave(
+            bits, coded_bits_per_symbol=48, bits_per_subcarrier=1
+        )
+        signal_bits = decode_with_rate(deinterleaved, (1, 2), 24)
+        return parse_signal_field(signal_bits)
+
+    def _correct_common_phase(
+        self, bins: np.ndarray, symbol_index: int
+    ) -> np.ndarray:
+        """Remove residual common phase using the four pilots."""
+        from repro.wifi.scrambler import pilot_polarity_sequence
+
+        polarity = pilot_polarity_sequence()[symbol_index % 127]
+        expected = _PILOT_BASE * polarity
+        received = bins[_PILOT_FFT_INDEXES]
+        rotation = np.vdot(expected.astype(np.complex128), received)
+        if abs(rotation) == 0.0:
+            return bins
+        return bins * np.exp(-1j * np.angle(rotation))
+
+
+def receive_any(waveform: Waveform, scrambler_seed: int = 0x5D) -> WifiReceiveResult:
+    """Blind reception: acquire, decode SIGNAL, then decode at its rate.
+
+    The complete standalone path a real station runs — no prior
+    knowledge of the frame's rate or length.
+    """
+    from repro.wifi.sync import WifiSynchronizer
+
+    synchronizer = WifiSynchronizer()
+    sync = synchronizer.synchronize(waveform)
+    corrected = synchronizer.correct(waveform, sync)
+    # Any receiver instance can decode the (rate-independent) SIGNAL.
+    probe = WifiReceiver(rate_mbps=6, scrambler_seed=scrambler_seed)
+    rate_mbps, psdu_bytes = probe.decode_signal_field(
+        corrected, frame_start=sync.frame_start
+    )
+    receiver = WifiReceiver(rate_mbps=rate_mbps, scrambler_seed=scrambler_seed)
+    return receiver.decode_psdu(
+        corrected, psdu_bytes=psdu_bytes, frame_start=sync.frame_start
+    )

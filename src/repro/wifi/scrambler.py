@@ -1,0 +1,51 @@
+"""The 802.11 frame-synchronous scrambler (x^7 + x^4 + 1).
+
+Scrambling and descrambling are the same XOR operation; the standard
+seeds the transmitter with a pseudo-random non-zero 7-bit state.  The
+same LFSR with an all-ones seed generates the 127-bit pilot-polarity
+sequence used by the OFDM symbol assembler.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def scrambler_sequence(length: int, seed: int = 0x7F) -> np.ndarray:
+    """First ``length`` bits of the LFSR output for a given 7-bit seed."""
+    if not 0 < seed < 128:
+        raise ConfigurationError("scrambler seed must be a non-zero 7-bit value")
+    if length < 0:
+        raise ConfigurationError("length must be non-negative")
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0]=x^1 ... state[6]=x^7
+    out = np.empty(length, dtype=np.uint8)
+    for i in range(length):
+        feedback = state[6] ^ state[3]  # x^7 xor x^4
+        out[i] = feedback
+        state = [feedback] + state[:6]
+    return out
+
+
+def scramble(bits: Iterable[int], seed: int = 0x5D) -> np.ndarray:
+    """XOR ``bits`` with the scrambler sequence (self-inverse)."""
+    array = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits,
+                       dtype=np.uint8)
+    sequence = scrambler_sequence(array.size, seed)
+    return array ^ sequence
+
+
+descramble = scramble
+
+
+@lru_cache(maxsize=1)
+def pilot_polarity_sequence() -> np.ndarray:
+    """127-element +/-1 pilot polarity sequence p_0..p_126 (seed 0x7F)."""
+    bits = scrambler_sequence(127, seed=0x7F)
+    polarity = 1.0 - 2.0 * bits.astype(np.float64)
+    polarity.setflags(write=False)
+    return polarity

@@ -1,0 +1,138 @@
+"""Soft-decision (LLR) demapping and Viterbi decoding.
+
+Hard decisions throw away reliability information; practical 802.11
+receivers demap to per-bit log-likelihood ratios and run a soft-input
+Viterbi, worth ~2 dB.  LLR convention: ``L = log P(bit=0) - log P(bit=1)``
+(positive favours 0), computed max-log style from squared distances to
+the nearest constellation point per bit hypothesis.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.wifi.convcode import NUM_STATES, _trellis
+from repro.wifi.qam import QamModulation, _constellation_for
+
+
+@lru_cache(maxsize=16)
+def _bit_partitions(name: str, bits_per_symbol: int) -> Tuple[np.ndarray, np.ndarray]:
+    """For each bit position, the points with that bit 0 resp. 1."""
+    table = _constellation_for(name)
+    indexes = np.arange(table.size)
+    zeros = []
+    ones = []
+    for position in range(bits_per_symbol):
+        shift = bits_per_symbol - 1 - position
+        bit = (indexes >> shift) & 1
+        zeros.append(table[bit == 0])
+        ones.append(table[bit == 1])
+    return tuple(zeros), tuple(ones)  # type: ignore[return-value]
+
+
+def soft_demodulate(
+    points: np.ndarray, modulation: QamModulation, noise_variance: float = 1.0
+) -> np.ndarray:
+    """Max-log per-bit LLRs for equalized constellation points.
+
+    Args:
+        points: received (equalized) complex points.
+        modulation: the transmit constellation.
+        noise_variance: per-point complex noise power; only scales the
+            LLRs, which is irrelevant to (max-log) Viterbi but kept for
+            interfacing with true-LLR consumers.
+    """
+    if noise_variance <= 0:
+        raise ConfigurationError("noise_variance must be positive")
+    array = np.asarray(points, dtype=np.complex128)
+    bps = modulation.bits_per_symbol
+    zeros, ones = _bit_partitions(modulation.name, bps)
+
+    llrs = np.empty(array.size * bps, dtype=np.float64)
+    for position in range(bps):
+        d0 = np.min(
+            np.abs(array[:, None] - zeros[position][None, :]) ** 2, axis=1
+        )
+        d1 = np.min(
+            np.abs(array[:, None] - ones[position][None, :]) ** 2, axis=1
+        )
+        llrs[position::bps] = (d1 - d0) / noise_variance
+    return llrs
+
+
+def depuncture_soft(llrs: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+    """Re-insert zero-LLR erasures at punctured positions."""
+    from repro.wifi.convcode import _PUNCTURE_PATTERNS
+
+    if rate not in _PUNCTURE_PATTERNS:
+        raise ConfigurationError(f"unsupported coding rate {rate}")
+    pattern = _PUNCTURE_PATTERNS[rate]
+    kept = int(pattern.sum())
+    array = np.asarray(llrs, dtype=np.float64)
+    if array.size % kept != 0:
+        raise ConfigurationError(
+            f"LLR count {array.size} is not a multiple of {kept} per period"
+        )
+    periods = array.size // kept
+    full = np.zeros(periods * pattern.size, dtype=np.float64)
+    mask = np.tile(pattern, periods).astype(bool)
+    full[mask] = array
+    return full
+
+
+def viterbi_decode_soft(llrs: np.ndarray, num_data_bits: int) -> np.ndarray:
+    """Soft-input Viterbi over the 802.11 K=7 code.
+
+    Args:
+        llrs: rate-1/2 LLR stream (positive favours bit 0); zeros act as
+            erasures.  Length must be ``2 * num_data_bits``.
+        num_data_bits: information bits to recover.
+    """
+    array = np.asarray(llrs, dtype=np.float64)
+    if array.size != 2 * num_data_bits:
+        raise DecodingError(
+            f"expected {2 * num_data_bits} LLRs, got {array.size}"
+        )
+    next_state, outputs = _trellis()
+
+    predecessors = np.zeros((NUM_STATES, 2), dtype=np.int64)
+    pred_bits = np.zeros((NUM_STATES, 2), dtype=np.uint8)
+    pred_outputs = np.zeros((NUM_STATES, 2, 2), dtype=np.float64)
+    counts = np.zeros(NUM_STATES, dtype=np.int64)
+    for state in range(NUM_STATES):
+        for bit in range(2):
+            destination = int(next_state[state, bit])
+            slot = counts[destination]
+            predecessors[destination, slot] = state
+            pred_bits[destination, slot] = bit
+            pred_outputs[destination, slot] = outputs[state, bit]
+            counts[destination] += 1
+    # Branch cost of emitting output bit b given LLR L: hypothesizing
+    # b=1 costs +L, b=0 costs -L (so negative totals are likely paths).
+    signs = 2.0 * pred_outputs - 1.0  # 0 -> -1, 1 -> +1
+
+    infinity = np.float64(1e18)
+    metrics = np.full(NUM_STATES, infinity)
+    metrics[0] = 0.0
+    history = np.zeros((num_data_bits, NUM_STATES), dtype=np.uint8)
+
+    pairs = array.reshape(num_data_bits, 2)
+    for step in range(num_data_bits):
+        l0, l1 = pairs[step]
+        costs = signs[:, :, 0] * l0 + signs[:, :, 1] * l1
+        candidate = metrics[predecessors] + costs
+        choice = np.argmin(candidate, axis=1)
+        metrics = candidate[np.arange(NUM_STATES), choice]
+        history[step] = choice
+
+    state = int(np.argmin(metrics))
+    decoded = np.empty(num_data_bits, dtype=np.uint8)
+    for step in range(num_data_bits - 1, -1, -1):
+        slot = history[step, state]
+        decoded[step] = pred_bits[state, slot]
+        state = int(predecessors[state, slot])
+    return decoded

@@ -1,0 +1,131 @@
+"""802.11 OFDM synchronization: packet detection, timing, CFO.
+
+Schmidl & Cox style acquisition on the short training field (ten
+identical 16-sample symbols), fine timing by cross-correlation with the
+known long training symbol, and two-stage CFO estimation (coarse from the
+STF periodicity, fine from the two LTF repeats).  Turns the reference
+receiver into a standalone one that needs no genie timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SynchronizationError
+from repro.utils.signal_ops import Waveform, frequency_shift
+from repro.wifi.constants import FFT_SIZE, SAMPLE_RATE_HZ
+from repro.wifi.preamble import long_training_field
+
+STF_PERIOD = 16
+LTF_GUARD = 32
+
+
+@dataclass(frozen=True)
+class WifiSyncResult:
+    """Acquisition outcome.
+
+    Attributes:
+        frame_start: sample index of the STF start.
+        cfo_hz: total estimated carrier frequency offset.
+        metric: peak normalized Schmidl-Cox metric in [0, 1].
+    """
+
+    frame_start: int
+    cfo_hz: float
+    metric: float
+
+
+class WifiSynchronizer:
+    """STF/LTF-based acquisition for 20 Msps 802.11a/g frames."""
+
+    def __init__(self, detection_threshold: float = 0.5):
+        if not 0.0 < detection_threshold < 1.0:
+            raise ConfigurationError("detection_threshold must be in (0, 1)")
+        self.detection_threshold = detection_threshold
+        ltf = long_training_field()
+        self._ltf_symbol = ltf[LTF_GUARD : LTF_GUARD + FFT_SIZE]
+
+    def _schmidl_cox(self, samples: np.ndarray) -> np.ndarray:
+        """Normalized autocorrelation metric at lag 16 over a 64 window."""
+        lag = STF_PERIOD
+        window = 64
+        if samples.size < window + lag:
+            raise SynchronizationError("waveform shorter than the STF window")
+        product = samples[lag:] * np.conj(samples[:-lag])
+        energy = np.abs(samples[lag:]) ** 2
+        kernel = np.ones(window)
+        corr = np.convolve(product, kernel, mode="valid")
+        power = np.convolve(energy, kernel, mode="valid")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            metric = np.where(power > 0, np.abs(corr) / power, 0.0)
+        return np.minimum(metric, 1.0)
+
+    def synchronize(self, waveform: Waveform) -> WifiSyncResult:
+        """Acquire one frame; raises when no plateau is found."""
+        if abs(waveform.sample_rate_hz - SAMPLE_RATE_HZ) > 1e-3:
+            raise ConfigurationError("WiFi synchronizer expects 20 Msps input")
+        samples = waveform.samples
+        metric = self._schmidl_cox(samples)
+        above = metric >= self.detection_threshold
+        if not above.any():
+            raise SynchronizationError(
+                f"no STF plateau above {self.detection_threshold:.2f} "
+                f"(peak {metric.max():.2f})"
+            )
+        coarse = int(np.argmax(above))  # start of the plateau
+
+        # Coarse CFO from the STF periodicity around the plateau.
+        lag = STF_PERIOD
+        span = samples[coarse : coarse + 144]  # within the STF
+        coarse_cfo = 0.0
+        if span.size > lag:
+            rotation = np.vdot(span[:-lag], span[lag:])
+            coarse_cfo = float(
+                np.angle(rotation) / (2.0 * np.pi * lag / SAMPLE_RATE_HZ)
+            )
+        corrected = frequency_shift(samples, -coarse_cfo, SAMPLE_RATE_HZ)
+
+        # Fine timing: cross-correlate the known LTF symbol over a search
+        # window after the coarse hit; the first of the two LTF peaks sits
+        # 160 + 32 samples after the frame start.
+        search_start = max(coarse - 32, 0)
+        search = corrected[search_start : search_start + 400 + FFT_SIZE]
+        if search.size < FFT_SIZE + 1:
+            raise SynchronizationError("waveform too short for LTF search")
+        correlation = np.abs(
+            np.correlate(search, self._ltf_symbol, mode="valid")
+        )
+        # Two near-equal peaks 64 samples apart; take the earlier one.
+        peak = int(np.argmax(correlation))
+        if peak >= FFT_SIZE and correlation[peak - FFT_SIZE] > 0.8 * correlation[peak]:
+            peak -= FFT_SIZE
+        ltf_symbol_start = search_start + peak
+        frame_start = ltf_symbol_start - (160 + LTF_GUARD)
+        if frame_start < 0:
+            frame_start = 0
+
+        # Fine CFO from the two LTF repeats.
+        first = corrected[ltf_symbol_start : ltf_symbol_start + FFT_SIZE]
+        second = corrected[
+            ltf_symbol_start + FFT_SIZE : ltf_symbol_start + 2 * FFT_SIZE
+        ]
+        fine_cfo = 0.0
+        if second.size == FFT_SIZE:
+            rotation = np.vdot(first, second)
+            fine_cfo = float(
+                np.angle(rotation) / (2.0 * np.pi * FFT_SIZE / SAMPLE_RATE_HZ)
+            )
+        return WifiSyncResult(
+            frame_start=frame_start,
+            cfo_hz=coarse_cfo + fine_cfo,
+            metric=float(metric[coarse : coarse + 160].max()),
+        )
+
+    def correct(self, waveform: Waveform, sync: WifiSyncResult) -> Waveform:
+        """Remove the estimated CFO (timing handled via ``frame_start``)."""
+        corrected = frequency_shift(
+            waveform.samples, -sync.cfo_hz, SAMPLE_RATE_HZ
+        )
+        return waveform.with_samples(corrected)

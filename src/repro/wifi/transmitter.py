@@ -1,0 +1,166 @@
+"""The full IEEE 802.11g OFDM transmitter of Fig. 2.
+
+``PSDU -> service/tail/pad -> scramble -> convolutional code ->
+puncture -> interleave -> QAM -> pilot insertion -> 64-IFFT -> CP``
+
+The attacker re-enters this chain at two points: with raw QAM points
+(:meth:`WifiTransmitter.transmit_data_points`, the paper's simulation
+path where "the preprocessing is ignored") and with data bits obtained by
+inverting the preprocessing (:meth:`WifiTransmitter.transmit_psdu`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import bytes_to_bits
+from repro.utils.signal_ops import Waveform
+from repro.wifi.constants import (
+    DEFAULT_RATE_MBPS,
+    NUM_DATA_SUBCARRIERS,
+    RATES,
+    RateParams,
+    SAMPLE_RATE_HZ,
+)
+from repro.wifi.convcode import encode_with_rate
+from repro.wifi.interleaver import interleave
+from repro.wifi.ofdm import assemble_symbols
+from repro.wifi.preamble import (
+    long_training_field,
+    short_training_field,
+    signal_field_waveform,
+)
+from repro.wifi.qam import modulation_for_name
+from repro.wifi.scrambler import scramble
+
+SERVICE_BITS = 16
+TAIL_BITS = 6
+
+
+@dataclass(frozen=True)
+class WifiTransmitResult:
+    """A transmitted WiFi waveform and its ground-truth internals."""
+
+    waveform: Waveform
+    data_points: np.ndarray
+    coded_bits: np.ndarray
+    scrambled_bits: np.ndarray
+    num_symbols: int
+
+
+class WifiTransmitter:
+    """802.11g OFDM transmitter producing 20 Msps complex baseband."""
+
+    def __init__(
+        self,
+        rate_mbps: int = DEFAULT_RATE_MBPS,
+        scrambler_seed: int = 0x5D,
+        include_preamble: bool = True,
+    ):
+        if rate_mbps not in RATES:
+            raise ConfigurationError(
+                f"unsupported rate {rate_mbps}; choose from {sorted(RATES)}"
+            )
+        self.params: RateParams = RATES[rate_mbps]
+        self.scrambler_seed = scrambler_seed
+        self.include_preamble = include_preamble
+        self._modulation = modulation_for_name(self.params.modulation)
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Native output rate (20 Msps)."""
+        return SAMPLE_RATE_HZ
+
+    def num_symbols_for(self, psdu_bytes: int) -> int:
+        """OFDM data symbols needed for a PSDU of ``psdu_bytes``."""
+        total_bits = SERVICE_BITS + 8 * psdu_bytes + TAIL_BITS
+        ndbps = self.params.data_bits_per_symbol
+        return -(-total_bits // ndbps)
+
+    def build_data_bits(self, psdu: bytes) -> np.ndarray:
+        """SERVICE + PSDU + tail + pad bits, before scrambling."""
+        psdu_bits = bytes_to_bits(psdu)
+        num_symbols = self.num_symbols_for(len(psdu))
+        padded_length = num_symbols * self.params.data_bits_per_symbol
+        bits = np.zeros(padded_length, dtype=np.uint8)
+        bits[SERVICE_BITS : SERVICE_BITS + psdu_bits.size] = psdu_bits
+        return bits
+
+    def transmit_psdu(self, psdu: bytes) -> WifiTransmitResult:
+        """Run the full chain of Fig. 2 on a PSDU."""
+        if len(psdu) == 0:
+            raise ConfigurationError("PSDU must not be empty")
+        bits = self.build_data_bits(psdu)
+        scrambled = scramble(bits, seed=self.scrambler_seed)
+        # The six tail bits must remain zero so the Viterbi decoder
+        # terminates; the standard resets them after scrambling.
+        tail_start = SERVICE_BITS + 8 * len(psdu)
+        scrambled[tail_start : tail_start + TAIL_BITS] = 0
+        coded = encode_with_rate(scrambled, self.params.coding_rate)
+        interleaved = interleave(
+            coded,
+            coded_bits_per_symbol=self.params.coded_bits_per_symbol,
+            bits_per_subcarrier=self.params.bits_per_subcarrier,
+        )
+        points = self._modulation.modulate(interleaved)
+        return self._finalize(points, scrambled, coded, psdu_len=len(psdu))
+
+    def transmit_data_points(
+        self, data_points: np.ndarray, include_pilots: bool = True
+    ) -> WifiTransmitResult:
+        """Transmit raw constellation points (48 per OFDM symbol).
+
+        This is the attacker's simulation path: the preprocessing
+        (scrambling/coding/interleaving) is skipped and quantized QAM
+        points feed the IFFT directly.
+        """
+        points = np.asarray(data_points, dtype=np.complex128)
+        if points.size == 0 or points.size % NUM_DATA_SUBCARRIERS != 0:
+            raise ConfigurationError(
+                f"data points must be a non-empty multiple of "
+                f"{NUM_DATA_SUBCARRIERS}, got {points.size}"
+            )
+        return self._finalize(
+            points,
+            scrambled=np.zeros(0, dtype=np.uint8),
+            coded=np.zeros(0, dtype=np.uint8),
+            psdu_len=None,
+            include_pilots=include_pilots,
+        )
+
+    def _finalize(
+        self,
+        points: np.ndarray,
+        scrambled: np.ndarray,
+        coded: np.ndarray,
+        psdu_len: Optional[int],
+        include_pilots: bool = True,
+    ) -> WifiTransmitResult:
+        data_waveform = assemble_symbols(
+            points, first_symbol_index=1, include_pilots=include_pilots
+        )
+        if self.include_preamble:
+            length_field = psdu_len if psdu_len is not None else max(
+                points.size // NUM_DATA_SUBCARRIERS, 1
+            )
+            header = np.concatenate(
+                [
+                    short_training_field(),
+                    long_training_field(),
+                    signal_field_waveform(self.params.rate_mbps, length_field),
+                ]
+            )
+            samples = np.concatenate([header, data_waveform])
+        else:
+            samples = data_waveform
+        return WifiTransmitResult(
+            waveform=Waveform(samples, SAMPLE_RATE_HZ),
+            data_points=points,
+            coded_bits=coded,
+            scrambled_bits=scrambled,
+            num_symbols=points.size // NUM_DATA_SUBCARRIERS,
+        )

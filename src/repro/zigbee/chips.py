@@ -1,0 +1,64 @@
+"""The 802.15.4 symbol-to-chip spreading table.
+
+The standard's sixteen 32-chip pseudo-noise sequences have a compact
+structure which we exploit to generate the table instead of hard-coding
+512 chips:
+
+* sequences for symbols 1-7 are cyclic right-shifts of symbol 0 by 4 chips
+  per step;
+* the sequence for symbol 8 equals symbol 0 with every odd-indexed chip
+  inverted (a conjugation of the underlying MSK phase trajectory), and
+  symbols 9-15 are again successive 4-chip right-shifts of symbol 8.
+
+Tests validate the generated table against known rows of the published
+standard table.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.zigbee.constants import CHIPS_PER_SYMBOL, NUM_SYMBOLS, SYMBOL0_CHIPS
+
+
+@lru_cache(maxsize=1)
+def chip_table() -> np.ndarray:
+    """The full 16 x 32 chip table as a read-only uint8 array."""
+    table = np.zeros((NUM_SYMBOLS, CHIPS_PER_SYMBOL), dtype=np.uint8)
+    table[0] = SYMBOL0_CHIPS
+    for symbol in range(1, 8):
+        table[symbol] = np.roll(table[symbol - 1], 4)
+    conjugated = SYMBOL0_CHIPS.copy()
+    conjugated[1::2] ^= 1
+    table[8] = conjugated
+    for symbol in range(9, NUM_SYMBOLS):
+        table[symbol] = np.roll(table[symbol - 1], 4)
+    table.setflags(write=False)
+    return table
+
+
+def chips_for_symbol(symbol: int) -> np.ndarray:
+    """The 32-chip sequence for one hexadecimal data symbol."""
+    if not 0 <= symbol < NUM_SYMBOLS:
+        raise ConfigurationError(f"802.15.4 symbols are 0-15, got {symbol}")
+    return chip_table()[symbol]
+
+
+@lru_cache(maxsize=1)
+def min_pairwise_chip_distance() -> int:
+    """Minimum Hamming distance between any two distinct chip sequences.
+
+    This bound is what makes DSSS despreading tolerant to chip errors: a
+    received sequence within (d_min - 1) / 2 errors of a codeword decodes
+    unambiguously.
+    """
+    table = chip_table()
+    best = CHIPS_PER_SYMBOL
+    for i in range(NUM_SYMBOLS):
+        for j in range(i + 1, NUM_SYMBOLS):
+            distance = int(np.count_nonzero(table[i] != table[j]))
+            best = min(best, distance)
+    return best

@@ -1,0 +1,55 @@
+"""IEEE 802.15.4 (2.4 GHz O-QPSK PHY) constants used by the ZigBee stack.
+
+Numerology (2450 MHz band):
+
+* 16 channels (11-26), 2 MHz occupied bandwidth, 5 MHz spacing;
+  channel 17 (the paper's example) is centred at 2435 MHz.
+* 62.5 ksym/s -> each 4-bit symbol lasts 16 us.
+* DSSS spreads each symbol to 32 chips -> 2 Mchip/s, chip period 0.5 us.
+* O-QPSK with half-sine pulse shaping; the quadrature rail is offset by
+  one chip period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SYMBOL_RATE_HZ = 62_500.0
+CHIPS_PER_SYMBOL = 32
+CHIP_RATE_HZ = SYMBOL_RATE_HZ * CHIPS_PER_SYMBOL  # 2 Mchip/s
+CHIP_PERIOD_S = 1.0 / CHIP_RATE_HZ  # 0.5 us
+SYMBOL_PERIOD_S = 1.0 / SYMBOL_RATE_HZ  # 16 us
+BITS_PER_SYMBOL = 4
+NUM_SYMBOLS = 16
+
+#: Native simulation sample rate used by the paper: 4 MHz -> 2 samples/chip.
+DEFAULT_SAMPLE_RATE_HZ = 4_000_000.0
+DEFAULT_SAMPLES_PER_CHIP = 2
+
+#: PHY framing.
+PREAMBLE_BYTES = bytes(4)  # 4 zero bytes = 8 zero symbols
+SFD_BYTE = 0xA7
+MAX_PSDU_BYTES = 127
+
+#: Default Hamming-distance tolerance of the DSSS despreader.  The paper:
+#: "all of the emulated waveforms are decoded correctly with a feasible
+#: threshold of 10".
+DEFAULT_CORRELATION_THRESHOLD = 10
+
+#: Base chip sequence for symbol 0 (IEEE 802.15.4-2011 Table 73).
+SYMBOL0_CHIPS = np.array(
+    [
+        1, 1, 0, 1, 1, 0, 0, 1,
+        1, 1, 0, 0, 0, 0, 1, 1,
+        0, 1, 0, 1, 0, 0, 1, 0,
+        0, 0, 1, 0, 1, 1, 1, 0,
+    ],
+    dtype=np.uint8,
+)
+
+
+def channel_center_frequency_hz(channel: int) -> float:
+    """Centre frequency of a 2.4 GHz 802.15.4 channel (11-26)."""
+    if not 11 <= channel <= 26:
+        raise ValueError(f"2.4 GHz 802.15.4 channels are 11-26, got {channel}")
+    return 2405e6 + 5e6 * (channel - 11)

@@ -1,0 +1,150 @@
+"""IEEE 802.15.4 PHY and MAC framing.
+
+The PHY frame (PPDU) is::
+
+    | preamble: 4 x 0x00 | SFD: 0xA7 | PHR: length (7 bits) | PSDU |
+
+Bytes are serialized into 4-bit data symbols low-nibble first, each symbol
+then DSSS-spread to 32 chips.  The MAC frame (MPDU) used by the examples
+is a compact 802.15.4 data frame with 16-bit addressing and a CRC-16 FCS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import FramingError
+from repro.utils.bitops import pack_nibbles, unpack_nibbles
+from repro.utils.crc import append_fcs, verify_fcs
+from repro.zigbee.constants import MAX_PSDU_BYTES, PREAMBLE_BYTES, SFD_BYTE
+
+#: FCF for a data frame, no security, no frame pending, ack requested,
+#: intra-PAN, 16-bit destination and source addressing (little-endian
+#: 0x8861 on the wire).
+DEFAULT_DATA_FCF = 0x8861
+
+
+def bytes_to_symbols(data: bytes) -> np.ndarray:
+    """Serialize bytes into 4-bit PHY symbols (low nibble first)."""
+    return unpack_nibbles(data)
+
+
+def symbols_to_bytes(symbols: Sequence[int]) -> bytes:
+    """Inverse of :func:`bytes_to_symbols`."""
+    return pack_nibbles(symbols)
+
+
+@dataclass(frozen=True)
+class PhyFrame:
+    """A PHY protocol data unit: synchronization header + length + PSDU."""
+
+    psdu: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 < len(self.psdu) <= MAX_PSDU_BYTES:
+            raise FramingError(
+                f"PSDU must be 1..{MAX_PSDU_BYTES} bytes, got {len(self.psdu)}"
+            )
+
+    @property
+    def shr(self) -> bytes:
+        """Synchronization header: preamble plus start-of-frame delimiter."""
+        return PREAMBLE_BYTES + bytes([SFD_BYTE])
+
+    def to_bytes(self) -> bytes:
+        """The full over-the-air PPDU byte stream."""
+        return self.shr + bytes([len(self.psdu)]) + self.psdu
+
+    def to_symbols(self) -> np.ndarray:
+        """The PPDU as a stream of 4-bit data symbols."""
+        return bytes_to_symbols(self.to_bytes())
+
+    @classmethod
+    def from_symbols(cls, symbols: Sequence[int]) -> "PhyFrame":
+        """Parse a symbol stream that begins at the preamble."""
+        stream = symbols_to_bytes(list(symbols)[: 2 * ((len(symbols)) // 2)])
+        header = PREAMBLE_BYTES + bytes([SFD_BYTE])
+        if len(stream) < len(header) + 1:
+            raise FramingError("symbol stream too short for a PPDU header")
+        if stream[: len(PREAMBLE_BYTES)] != PREAMBLE_BYTES:
+            raise FramingError("preamble mismatch")
+        if stream[len(PREAMBLE_BYTES)] != SFD_BYTE:
+            raise FramingError(
+                f"SFD mismatch: expected 0x{SFD_BYTE:02X}, "
+                f"got 0x{stream[len(PREAMBLE_BYTES)]:02X}"
+            )
+        length = stream[len(header)]
+        if not 0 < length <= MAX_PSDU_BYTES:
+            raise FramingError(f"invalid PHR length {length}")
+        body = stream[len(header) + 1 :]
+        if len(body) < length:
+            raise FramingError(
+                f"PSDU truncated: header promises {length} bytes, got {len(body)}"
+            )
+        return cls(psdu=body[:length])
+
+
+@dataclass(frozen=True)
+class MacFrame:
+    """A compact 802.15.4 data frame with 16-bit intra-PAN addressing."""
+
+    payload: bytes
+    sequence_number: int = 0
+    pan_id: int = 0x1A62
+    destination: int = 0x0001
+    source: int = 0x0002
+    frame_control: int = DEFAULT_DATA_FCF
+
+    def __post_init__(self) -> None:
+        for name, value, width in (
+            ("sequence_number", self.sequence_number, 8),
+            ("pan_id", self.pan_id, 16),
+            ("destination", self.destination, 16),
+            ("source", self.source, 16),
+            ("frame_control", self.frame_control, 16),
+        ):
+            if not 0 <= value < (1 << width):
+                raise FramingError(f"{name} {value} does not fit in {width} bits")
+
+    def header_bytes(self) -> bytes:
+        """MAC header serialized little-endian as on the wire."""
+        return bytes(
+            [
+                self.frame_control & 0xFF,
+                self.frame_control >> 8,
+                self.sequence_number,
+                self.pan_id & 0xFF,
+                self.pan_id >> 8,
+                self.destination & 0xFF,
+                self.destination >> 8,
+                self.source & 0xFF,
+                self.source >> 8,
+            ]
+        )
+
+    def to_bytes(self) -> bytes:
+        """MPDU including the trailing FCS."""
+        mpdu = append_fcs(self.header_bytes() + bytes(self.payload))
+        if len(mpdu) > MAX_PSDU_BYTES:
+            raise FramingError(
+                f"MPDU of {len(mpdu)} bytes exceeds the {MAX_PSDU_BYTES}-byte PSDU limit"
+            )
+        return mpdu
+
+    @classmethod
+    def from_bytes(cls, mpdu: bytes) -> "MacFrame":
+        """Parse and FCS-check an MPDU produced by :meth:`to_bytes`."""
+        body = verify_fcs(mpdu)
+        if len(body) < 9:
+            raise FramingError(f"MAC frame of {len(body)} bytes is too short")
+        return cls(
+            frame_control=body[0] | (body[1] << 8),
+            sequence_number=body[2],
+            pan_id=body[3] | (body[4] << 8),
+            destination=body[5] | (body[6] << 8),
+            source=body[7] | (body[8] << 8),
+            payload=body[9:],
+        )

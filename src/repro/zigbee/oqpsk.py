@@ -1,0 +1,208 @@
+"""O-QPSK modulation and matched-filter demodulation.
+
+Chips are split between rails exactly as the standard specifies: even-
+indexed chips modulate the in-phase rail, odd-indexed chips the quadrature
+rail, and the quadrature rail is delayed by one chip period.  The
+demodulator is the corresponding matched filter sampled at the (known or
+recovered) chip timing, producing one *soft chip sample* per chip.  Those
+soft samples are both the input to DSSS hard decisions and — crucially for
+the paper's defense — the raw material of the reconstructed QPSK
+constellation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.zigbee.constants import CHIP_RATE_HZ, DEFAULT_SAMPLES_PER_CHIP
+from repro.zigbee.halfsine import half_sine_pulse, pulse_energy, shape_rail
+
+
+class OqpskModulator:
+    """Shapes a chip stream into a complex baseband O-QPSK waveform."""
+
+    def __init__(self, samples_per_chip: int = DEFAULT_SAMPLES_PER_CHIP):
+        if samples_per_chip < 1:
+            raise ConfigurationError("samples_per_chip must be >= 1")
+        self.samples_per_chip = samples_per_chip
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Baseband sample rate implied by the oversampling factor."""
+        return CHIP_RATE_HZ * self.samples_per_chip
+
+    def modulate(self, chips: Sequence[int]) -> np.ndarray:
+        """Modulate binary chips (0/1) into a complex waveform.
+
+        The chip count must be even (it always is for whole symbols: 32
+        chips each).  Output length is ``len(chips) * samples_per_chip +
+        samples_per_chip``; the extra tail carries the delayed quadrature
+        rail's final pulse.
+        """
+        chip_array = np.asarray(chips, dtype=np.int64)
+        if chip_array.ndim != 1:
+            raise ConfigurationError("chips must be a 1-D sequence")
+        if chip_array.size % 2 != 0:
+            raise ConfigurationError("chip count must be even for O-QPSK")
+        if chip_array.size == 0:
+            return np.zeros(0, dtype=np.complex128)
+        if chip_array.min() < 0 or chip_array.max() > 1:
+            raise ConfigurationError("chips must be binary 0/1")
+        antipodal = 2.0 * chip_array.astype(np.float64) - 1.0
+
+        sps = self.samples_per_chip
+        i_rail = shape_rail(antipodal[0::2], sps)
+        q_rail = shape_rail(antipodal[1::2], sps)
+
+        total = chip_array.size * sps + sps
+        waveform = np.zeros(total, dtype=np.complex128)
+        waveform[: i_rail.size] += i_rail
+        waveform[sps : sps + q_rail.size] += 1j * q_rail
+        # Normalize so the steady-state envelope (hence average power of a
+        # long waveform) is 1, matching the paper's unit-power convention.
+        return waveform / np.abs(waveform[sps])
+
+
+@dataclass(frozen=True)
+class ChipSamples:
+    """Soft and hard chip decisions produced by the demodulator.
+
+    Attributes:
+        soft: real-valued matched-filter outputs, one per chip, normalized
+            so an undistorted noiseless chip yields exactly +/-1.
+        hard: binary 0/1 decisions, ``(soft > 0)``.
+    """
+
+    soft: np.ndarray
+    hard: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.soft.size)
+
+
+class OqpskDemodulator:
+    """Matched filter + chip-rate sampler for O-QPSK.
+
+    The demodulator assumes the waveform is already time- and phase-
+    aligned (see :mod:`repro.zigbee.synchronizer`); its first sample must
+    be the start of the first in-phase chip pulse.
+    """
+
+    def __init__(self, samples_per_chip: int = DEFAULT_SAMPLES_PER_CHIP):
+        if samples_per_chip < 1:
+            raise ConfigurationError("samples_per_chip must be >= 1")
+        self.samples_per_chip = samples_per_chip
+        self._pulse = half_sine_pulse(samples_per_chip)
+        self._pulse_energy = pulse_energy(samples_per_chip)
+
+    def capacity(self, num_samples: int) -> int:
+        """How many whole chips fit in a waveform of ``num_samples``."""
+        sps = self.samples_per_chip
+        if num_samples < 3 * sps:
+            return 0
+        # The q rail of chip pair m ends at (2m + 3) * sps samples.
+        pairs = (num_samples - sps) // (2 * sps)
+        return 2 * pairs
+
+    def demodulate(
+        self,
+        samples: Sequence[complex],
+        num_chips: int,
+        phase_tracking: bool = True,
+        loop_gain: float = 0.05,
+    ) -> ChipSamples:
+        """Recover ``num_chips`` soft chip values from an aligned waveform.
+
+        Args:
+            samples: time/phase-aligned complex baseband.
+            num_chips: how many chips to extract (even).
+            phase_tracking: run a first-order decision-directed phase loop
+                that removes residual carrier rotation.  Preamble-only CFO
+                estimates leave tens of hertz of residual, which integrates
+                into large phase errors over millisecond-long frames; every
+                practical receiver tracks.  Disable only to *observe* a
+                rotation (e.g. the constellation of Fig. 6b).
+            loop_gain: phase-loop gain per chip pair.
+        """
+        waveform = np.asarray(samples, dtype=np.complex128)
+        if waveform.ndim != 1:
+            raise ConfigurationError("waveform must be 1-D")
+        if num_chips < 0 or num_chips % 2 != 0:
+            raise ConfigurationError("num_chips must be even and non-negative")
+        if num_chips > self.capacity(waveform.size):
+            raise DecodingError(
+                f"waveform of {waveform.size} samples holds only "
+                f"{self.capacity(waveform.size)} chips, {num_chips} requested"
+            )
+        if not 0.0 < loop_gain < 1.0:
+            raise ConfigurationError("loop_gain must be in (0, 1)")
+        sps = self.samples_per_chip
+        pulse = self._pulse
+        window = 2 * sps
+        pairs = num_chips // 2
+        if pairs == 0:
+            return ChipSamples(
+                soft=np.zeros(0, dtype=np.float64),
+                hard=np.zeros(0, dtype=np.uint8),
+            )
+
+        if not phase_tracking:
+            # Fast path: same-rail windows tile contiguously, so the whole
+            # matched-filter bank is two reshaped matrix-vector products.
+            i_windows = waveform[: pairs * window].reshape(pairs, window)
+            q_windows = waveform[sps : sps + pairs * window].reshape(pairs, window)
+            soft = np.empty(num_chips, dtype=np.float64)
+            soft[0::2] = (i_windows @ pulse).real
+            soft[1::2] = (q_windows @ pulse).imag
+            soft /= self._pulse_energy
+            hard = (soft > 0).astype(np.uint8)
+            return ChipSamples(soft=soft, hard=hard)
+
+        soft = np.empty(num_chips, dtype=np.float64)
+        theta = 0.0
+        for pair in range(pairs):
+            i_start = pair * window
+            q_start = i_start + sps
+            rotation = np.exp(-1j * theta) if theta else 1.0
+            z_i = complex(np.dot(waveform[i_start : i_start + window], pulse))
+            z_q = complex(np.dot(waveform[q_start : q_start + window], pulse))
+            z_i *= rotation
+            z_q *= rotation
+            soft[2 * pair] = z_i.real
+            soft[2 * pair + 1] = z_q.imag
+            if phase_tracking:
+                error = 0.0
+                contributions = 0
+                if abs(z_i) > 1e-12:
+                    # Ideal z_i is +/-E on the real axis.
+                    error += float(np.angle(z_i * np.sign(z_i.real or 1.0)))
+                    contributions += 1
+                if abs(z_q) > 1e-12:
+                    # Ideal z_q is +/-jE; rotate onto the real axis first.
+                    error += float(
+                        np.angle(z_q * -1j * np.sign(z_q.imag or 1.0))
+                    )
+                    contributions += 1
+                if contributions:
+                    theta += loop_gain * error / contributions
+        soft /= self._pulse_energy
+        hard = (soft > 0).astype(np.uint8)
+        return ChipSamples(soft=soft, hard=hard)
+
+
+def chips_to_constellation(soft_chips: Sequence[float]) -> np.ndarray:
+    """Pair consecutive soft chips into complex points (odd->I, even->Q).
+
+    This is the constellation-construction step of the paper's defense
+    (Sec. VI-A2): the chip-rate soft samples are split into alternating
+    halves and combined into complex values.  See
+    :mod:`repro.defense.constellation` for the full normalized pipeline.
+    """
+    soft = np.asarray(soft_chips, dtype=np.float64)
+    if soft.size % 2 != 0:
+        raise ConfigurationError("need an even number of soft chips to pair")
+    return soft[0::2] + 1j * soft[1::2]

@@ -1,0 +1,73 @@
+"""The complete ZigBee transmitter chain of Fig. 1 (left).
+
+``bytes -> symbols -> DSSS chips -> O-QPSK half-sine waveform``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.signal_ops import Waveform
+from repro.zigbee.constants import DEFAULT_SAMPLES_PER_CHIP
+from repro.zigbee.frame import MacFrame, PhyFrame
+from repro.zigbee.oqpsk import OqpskModulator
+from repro.zigbee.spreading import spread_symbols
+
+
+@dataclass(frozen=True)
+class TransmitResult:
+    """A transmitted waveform together with its ground-truth internals."""
+
+    waveform: Waveform
+    symbols: np.ndarray
+    chips: np.ndarray
+    ppdu: bytes
+
+
+class ZigBeeTransmitter:
+    """IEEE 802.15.4 O-QPSK transmitter producing complex baseband."""
+
+    def __init__(self, samples_per_chip: int = DEFAULT_SAMPLES_PER_CHIP):
+        self._modulator = OqpskModulator(samples_per_chip)
+        self.samples_per_chip = samples_per_chip
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Native baseband output rate (4 Msps at 2 samples/chip)."""
+        return self._modulator.sample_rate_hz
+
+    def transmit_symbols(self, symbols: Sequence[int]) -> TransmitResult:
+        """Spread and modulate raw 4-bit data symbols (no framing)."""
+        symbol_array = np.asarray(list(symbols), dtype=np.int64)
+        chips = spread_symbols(symbol_array)
+        samples = self._modulator.modulate(chips)
+        return TransmitResult(
+            waveform=Waveform(samples, self.sample_rate_hz),
+            symbols=symbol_array,
+            chips=chips,
+            ppdu=b"",
+        )
+
+    def transmit_psdu(self, psdu: bytes) -> TransmitResult:
+        """Frame a PSDU into a PPDU and transmit it."""
+        frame = PhyFrame(psdu=psdu)
+        result = self.transmit_symbols(frame.to_symbols())
+        return TransmitResult(
+            waveform=result.waveform,
+            symbols=result.symbols,
+            chips=result.chips,
+            ppdu=frame.to_bytes(),
+        )
+
+    def transmit_mac_frame(self, frame: MacFrame) -> TransmitResult:
+        """Transmit a MAC data frame (adds the FCS)."""
+        return self.transmit_psdu(frame.to_bytes())
+
+    def transmit_payload(self, payload: bytes, sequence_number: int = 0) -> TransmitResult:
+        """Convenience: wrap an APP payload in a default MAC data frame."""
+        return self.transmit_mac_frame(
+            MacFrame(payload=payload, sequence_number=sequence_number)
+        )

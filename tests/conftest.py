@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive artifacts (modulated frames, emulation runs) are produced once
+per session: they are deterministic, and dozens of tests only need to
+*read* them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack.emulator import WaveformEmulationAttack
+from repro.experiments.common import prepare_authentic, prepare_emulated
+from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
+from repro.zigbee.transmitter import ZigBeeTransmitter
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def transmitter() -> ZigBeeTransmitter:
+    return ZigBeeTransmitter()
+
+
+@pytest.fixture(scope="session")
+def receiver() -> ZigBeeReceiver:
+    return ZigBeeReceiver()
+
+
+@pytest.fixture(scope="session")
+def quadrature_receiver() -> ZigBeeReceiver:
+    return ZigBeeReceiver(ReceiverConfig(demodulation="quadrature"))
+
+
+@pytest.fixture(scope="session")
+def authentic_link():
+    """A transmitted frame plus its 20 Msps air waveform."""
+    return prepare_authentic(b"00042")
+
+
+@pytest.fixture(scope="session")
+def emulated_link():
+    """The same frame after the waveform emulation attack."""
+    return prepare_emulated(b"00042", rng=7)
+
+
+@pytest.fixture(scope="session")
+def emulation_result(emulated_link):
+    return emulated_link.emulation
+
+
+@pytest.fixture(scope="session")
+def attack() -> WaveformEmulationAttack:
+    return WaveformEmulationAttack(rng=7)

@@ -1,0 +1,104 @@
+"""Meta-tests: API conventions the whole package must follow.
+
+* every public module, class, and function carries a docstring;
+* every subpackage's ``__all__`` is sorted and resolvable;
+* every error raised at API boundaries derives from ReproError.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro",
+    "repro.attack",
+    "repro.channel",
+    "repro.defense",
+    "repro.experiments",
+    "repro.hardware",
+    "repro.link",
+    "repro.utils",
+    "repro.wifi",
+    "repro.zigbee",
+]
+
+
+def _walk_modules():
+    for package_name in SUBPACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__ for module in _walk_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_callable_documented(self):
+        undocumented = []
+        for module in _walk_modules():
+            for name, member in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(member) or inspect.isfunction(member)):
+                    continue
+                if getattr(member, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at its home
+                if not (member.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+    def test_public_methods_documented(self):
+        undocumented = []
+        for module in _walk_modules():
+            for name, member in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(member):
+                    continue
+                if getattr(member, "__module__", None) != module.__name__:
+                    continue
+                for method_name, method in vars(member).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(method):
+                        continue
+                    # inspect.getdoc falls back to the parent class, so an
+                    # override of a documented abstract method passes.
+                    if not (inspect.getdoc(getattr(member, method_name)) or "").strip():
+                        undocumented.append(
+                            f"{module.__name__}.{name}.{method_name}"
+                        )
+        assert undocumented == []
+
+
+class TestAllExports:
+    @pytest.mark.parametrize("package_name", SUBPACKAGES)
+    def test_all_sorted_and_resolvable(self, package_name):
+        package = importlib.import_module(package_name)
+        if not hasattr(package, "__all__"):
+            pytest.skip(f"{package_name} has no __all__")
+        exported = list(package.__all__)
+        assert exported == sorted(exported), (
+            f"{package_name}.__all__ is not sorted"
+        )
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+class TestErrorHierarchy:
+    def test_all_custom_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name, member in vars(errors).items():
+            if inspect.isclass(member) and issubclass(member, Exception):
+                if member is not errors.ReproError:
+                    assert issubclass(member, errors.ReproError), name

@@ -1,0 +1,152 @@
+"""Tests for noisy channel listening and soft DSSS despreading."""
+
+import numpy as np
+import pytest
+
+from repro.attack.observation import (
+    ChannelListener,
+    observation_gain_db,
+)
+from repro.channel.awgn import AwgnChannel
+from repro.errors import ConfigurationError, SynchronizationError
+from repro.utils.signal_ops import Waveform, normalize_power
+from repro.zigbee.chips import chip_table
+from repro.zigbee.spreading import SoftDsssDespreader, spread_symbols
+from repro.zigbee.transmitter import ZigBeeTransmitter
+
+
+def _noisy_captures(sent, count, snr_db, lead=150, seed0=0):
+    pad = np.zeros(lead, dtype=complex)
+    clean = Waveform(
+        np.concatenate([pad, sent.waveform.samples, pad]), 4e6
+    )
+    return [AwgnChannel(snr_db, rng=seed0 + i).apply(clean) for i in range(count)]
+
+
+class TestChannelListener:
+    @pytest.fixture(scope="class")
+    def sent(self):
+        return ZigBeeTransmitter().transmit_payload(b"observe-me")
+
+    def test_averaging_reduces_noise(self, sent):
+        listener = ChannelListener()
+        reference = normalize_power(sent.waveform.samples)
+
+        def residual(count):
+            captures = _noisy_captures(sent, count, snr_db=3.0)
+            result = listener.average(captures, length=len(sent.waveform))
+            return float(
+                np.mean(np.abs(result.waveform.samples - reference) ** 2)
+            )
+
+        assert residual(16) < residual(2) / 3
+
+    def test_alignment_under_random_offsets(self, sent):
+        """Captures with different timing and phase still average coherently."""
+        listener = ChannelListener()
+        reference = normalize_power(sent.waveform.samples)
+        rng = np.random.default_rng(5)
+        captures = []
+        for i in range(8):
+            lead = int(rng.integers(50, 400))
+            pad = np.zeros(lead, dtype=complex)
+            tail = np.zeros(500 - lead, dtype=complex)
+            samples = np.concatenate([pad, sent.waveform.samples, tail])
+            samples = samples * np.exp(1j * rng.uniform(-np.pi, np.pi))
+            captures.append(
+                AwgnChannel(8.0, rng=100 + i).apply(Waveform(samples, 4e6))
+            )
+        result = listener.average(captures, length=len(sent.waveform))
+        assert result.used == 8
+        error = np.mean(np.abs(result.waveform.samples - reference) ** 2)
+        assert error < 0.05
+
+    def test_discards_unsyncable_captures(self, sent):
+        listener = ChannelListener(min_captures=2)
+        rng = np.random.default_rng(0)
+        noise_only = Waveform(
+            0.1 * (rng.standard_normal(4000) + 1j * rng.standard_normal(4000)),
+            4e6,
+        )
+        captures = _noisy_captures(sent, 3, snr_db=10.0) + [noise_only]
+        result = listener.average(captures)
+        assert result.used == 3
+        assert result.discarded == 1
+
+    def test_raises_when_too_few_survive(self, sent):
+        listener = ChannelListener(min_captures=2)
+        rng = np.random.default_rng(1)
+        noise = [
+            Waveform(0.1 * (rng.standard_normal(4000)
+                            + 1j * rng.standard_normal(4000)), 4e6)
+            for _ in range(3)
+        ]
+        with pytest.raises(SynchronizationError):
+            listener.average(noise)
+
+    def test_rejects_mixed_rates(self, sent):
+        listener = ChannelListener()
+        captures = _noisy_captures(sent, 1, snr_db=10.0)
+        captures.append(Waveform(captures[0].samples, 20e6))
+        with pytest.raises(ConfigurationError):
+            listener.average(captures)
+
+    def test_gain_formula(self):
+        assert observation_gain_db(10) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            observation_gain_db(0)
+
+    def test_attack_succeeds_from_low_snr_observations(self, sent):
+        """End-to-end: averaging rescues the attack at 0 dB listening SNR."""
+        from repro.attack import WaveformEmulationAttack
+        from repro.zigbee.receiver import ZigBeeReceiver
+
+        listener = ChannelListener()
+        captures = _noisy_captures(sent, 16, snr_db=0.0, seed0=40)
+        template = listener.average(captures, length=len(sent.waveform))
+        attack = WaveformEmulationAttack()
+        emulation = attack.emulate(template.waveform)
+        packet = ZigBeeReceiver().receive(attack.transmit_waveform(emulation))
+        assert packet.fcs_ok
+
+
+class TestSoftDespreading:
+    def test_clean_roundtrip(self):
+        despreader = SoftDsssDespreader()
+        symbols = list(range(16))
+        soft = 2.0 * spread_symbols(symbols).astype(np.float64) - 1.0
+        decisions = despreader.despread(soft)
+        assert [d.symbol for d in decisions] == symbols
+
+    def test_outperforms_hard_decisions_at_low_snr(self):
+        """Soft correlation survives noise that breaks hard slicing."""
+        from repro.zigbee.spreading import DsssDespreader
+
+        rng = np.random.default_rng(7)
+        hard_errors = soft_errors = 0
+        trials = 200
+        for trial in range(trials):
+            symbol = int(rng.integers(0, 16))
+            clean = 2.0 * chip_table()[symbol].astype(np.float64) - 1.0
+            noisy = clean + 1.6 * rng.standard_normal(32)
+            soft_decision = SoftDsssDespreader(acceptance=0.0).despread_sequence(noisy)
+            hard_decision = DsssDespreader(correlation_threshold=32).despread_sequence(
+                (noisy > 0).astype(np.uint8)
+            )
+            soft_errors += soft_decision.symbol != symbol
+            hard_errors += hard_decision.symbol != symbol
+        assert soft_errors <= hard_errors
+
+    def test_acceptance_threshold_drops_garbage(self):
+        despreader = SoftDsssDespreader(acceptance=0.6)
+        rng = np.random.default_rng(9)
+        garbage = rng.standard_normal(32)
+        assert despreader.despread_sequence(garbage).symbol is None
+
+    def test_rejects_bad_acceptance(self):
+        with pytest.raises(ConfigurationError):
+            SoftDsssDespreader(acceptance=1.5)
+
+    def test_rejects_partial_block(self):
+        with pytest.raises(ConfigurationError):
+            SoftDsssDespreader().despread_sequence(np.zeros(31))

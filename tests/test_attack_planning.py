@@ -1,0 +1,66 @@
+"""Tests for cross-technology channel planning."""
+
+import numpy as np
+import pytest
+
+from repro.attack.planning import (
+    WIFI_CHANNELS_HZ,
+    coverage_matrix,
+    feasible_custom_centers,
+    is_feasible,
+    offset_for,
+    plan_attack,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOffsets:
+    def test_paper_example(self):
+        # ZigBee 17 (2435 MHz) from a 2440 MHz centre: -16 subcarriers.
+        assert offset_for(17, 2440e6) == -16
+
+    def test_non_integer_offset_rejected(self):
+        # A standard WiFi channel sits 22.4 subcarriers away.
+        with pytest.raises(ConfigurationError):
+            offset_for(17, WIFI_CHANNELS_HZ[6])
+
+    def test_positive_offset(self):
+        assert offset_for(17, 2430e6) == 16
+
+
+class TestFeasibility:
+    def test_paper_plan_is_feasible(self):
+        plan = is_feasible(17, 2440e6)
+        assert plan is not None
+        assert plan.offset_subcarriers == -16
+        assert len(plan.data_positions) == 7
+
+    def test_standard_wifi_channels_all_infeasible(self):
+        """The headline negative result: no standard AP channel aligns."""
+        matrix = coverage_matrix()
+        assert matrix.sum() == 0
+
+    def test_plan_attack_empty_for_standard_channels(self):
+        assert plan_attack(17) == []
+
+    def test_custom_centers_symmetric(self):
+        plans = feasible_custom_centers(17)
+        offsets = sorted(p.offset_subcarriers for p in plans)
+        assert offsets == [-17, -16, -15, -14, -13, -12, -11,
+                           11, 12, 13, 14, 15, 16, 17]
+
+    def test_custom_centers_for_every_channel(self):
+        for channel in (11, 17, 26):
+            plans = feasible_custom_centers(channel)
+            assert len(plans) == 14
+
+    def test_narrow_selection_widens_feasibility(self):
+        narrow = feasible_custom_centers(17, kept_bins=[0, 1, 63])
+        default = feasible_custom_centers(17)
+        assert len(narrow) > len(default)
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ConfigurationError):
+            plan_attack(10)
+        with pytest.raises(ConfigurationError):
+            plan_attack(17, wifi_channels=[99])

@@ -1,0 +1,71 @@
+"""Tests for the AWGN channel and the paper's SNR convention."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import AwgnChannel, add_awgn
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform, average_power
+
+
+def _tone(n=20000, rate=20e6):
+    return Waveform(np.exp(2j * np.pi * 1e6 * np.arange(n) / rate), rate)
+
+
+class TestAddAwgn:
+    def test_noise_power_matches_snr(self):
+        clean = np.ones(100000, dtype=complex)
+        noisy = add_awgn(clean, snr_db=10.0, rng=0)
+        noise_power = average_power(noisy - clean)
+        assert noise_power == pytest.approx(0.1, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        clean = np.ones(64, dtype=complex)
+        assert np.array_equal(add_awgn(clean, 5, rng=42), add_awgn(clean, 5, rng=42))
+
+    def test_rejects_zero_signal(self):
+        with pytest.raises(ConfigurationError):
+            add_awgn(np.zeros(10, dtype=complex), 10.0)
+
+    def test_noise_is_complex_circular(self):
+        clean = np.zeros(200000, dtype=complex) + 1.0
+        noise = add_awgn(clean, 0.0, rng=1) - clean
+        # Real and imaginary parts carry equal power.
+        assert np.var(noise.real) == pytest.approx(np.var(noise.imag), rel=0.05)
+        assert abs(np.mean(noise)) < 0.01
+
+
+class TestAwgnChannel:
+    def test_normalizes_input_power(self):
+        scaled = _tone().with_samples(_tone().samples * 7.3)
+        noisy = AwgnChannel(snr_db=40, rng=0).apply(scaled)
+        assert noisy.power == pytest.approx(1.0, rel=0.05)
+
+    def test_skip_normalization(self):
+        scaled = _tone().with_samples(_tone().samples * 2.0)
+        noisy = AwgnChannel(snr_db=40, rng=0, normalize=False).apply(scaled)
+        assert noisy.power == pytest.approx(4.0, rel=0.05)
+
+    def test_in_band_reference_scales_noise(self):
+        channel = AwgnChannel(10.0, noise_bandwidth_hz=2e6)
+        assert channel.effective_snr_db(20e6) == pytest.approx(0.0)
+
+    def test_in_band_noise_after_filtering(self):
+        """A receiver filtering to the reference band sees the target SNR."""
+        from repro.utils.signal_ops import lowpass_filter
+
+        target_snr_db = 12.0
+        tone = _tone(n=100000)
+        channel = AwgnChannel(
+            target_snr_db, rng=3, noise_bandwidth_hz=2e6, normalize=False
+        )
+        noisy = channel.apply(tone)
+        noise = noisy.samples - tone.samples
+        filtered_noise = lowpass_filter(noise, 1e6, 20e6)
+        in_band_noise_power = average_power(filtered_noise[500:-500])
+        snr = 1.0 / in_band_noise_power
+        assert 10 * np.log10(snr) == pytest.approx(target_snr_db, abs=1.0)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            AwgnChannel(10.0, noise_bandwidth_hz=-1.0)

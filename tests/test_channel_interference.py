@@ -1,0 +1,87 @@
+"""Tests for the burst and WiFi co-channel interference models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import BurstInterferenceChannel, WifiInterferenceChannel
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform, average_power
+
+
+def _carrier(n=40000, rate=20e6):
+    return Waveform(np.exp(2j * np.pi * 0.01 * np.arange(n)), rate)
+
+
+class TestBurstInterference:
+    def test_zero_duty_cycle_is_transparent(self):
+        tone = _carrier()
+        out = BurstInterferenceChannel(duty_cycle=0.0, rng=0).apply(tone)
+        assert np.array_equal(out.samples, tone.samples)
+
+    def test_full_duty_cycle_adds_continuous_noise(self):
+        tone = _carrier()
+        channel = BurstInterferenceChannel(
+            interference_db=0.0, duty_cycle=1.0, rng=0
+        )
+        out = channel.apply(tone)
+        added = average_power(out.samples - tone.samples)
+        assert added == pytest.approx(1.0, rel=0.1)
+
+    def test_duty_cycle_scales_added_power(self):
+        # Short bursts so many on/off cycles fit and the duty cycle is
+        # statistically meaningful within one trace.
+        tone = _carrier(n=200000)
+        low = BurstInterferenceChannel(
+            0.0, duty_cycle=0.1, mean_burst_s=20e-6, rng=1
+        ).apply(tone)
+        high = BurstInterferenceChannel(
+            0.0, duty_cycle=0.6, mean_burst_s=20e-6, rng=1
+        ).apply(tone)
+        assert (
+            average_power(high.samples - tone.samples)
+            > 2 * average_power(low.samples - tone.samples)
+        )
+
+    def test_bursts_are_intermittent(self):
+        tone = _carrier()
+        channel = BurstInterferenceChannel(10.0, duty_cycle=0.2, rng=2)
+        out = channel.apply(tone)
+        difference = np.abs(out.samples - tone.samples)
+        assert (difference == 0).any()   # idle stretches exist
+        assert (difference > 0).any()    # and bursts exist
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            BurstInterferenceChannel(duty_cycle=1.5)
+
+    def test_empty_waveform_passthrough(self):
+        empty = Waveform(np.zeros(0, dtype=complex), 20e6)
+        out = BurstInterferenceChannel(rng=0).apply(empty)
+        assert len(out) == 0
+
+
+class TestWifiInterference:
+    def test_adds_power_at_requested_level(self):
+        tone = _carrier()
+        channel = WifiInterferenceChannel(
+            interference_db=0.0, duty_cycle=0.3, offset_hz=0.0, rng=0
+        )
+        out = channel.apply(tone)
+        added = average_power(out.samples - tone.samples)
+        assert 0.05 < added < 1.0  # duty-cycled unit-power bursts
+
+    def test_requires_20msps(self):
+        slow = Waveform(np.ones(1000, dtype=complex), 4e6)
+        with pytest.raises(ConfigurationError):
+            WifiInterferenceChannel(rng=0).apply(slow)
+
+    def test_link_survives_mild_wifi_interference(self, authentic_link):
+        """A duty-cycled interferer at -12 dB leaves the link decodable."""
+        from repro.zigbee.receiver import ZigBeeReceiver
+
+        channel = WifiInterferenceChannel(
+            interference_db=-12.0, duty_cycle=0.1, offset_hz=5e6, rng=3
+        )
+        received = channel.apply(authentic_link.on_air)
+        packet = ZigBeeReceiver().receive(received)
+        assert packet.decoded

@@ -1,0 +1,46 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig14" in out
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3", "--trials", "2000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "QPSK" in out
+        assert "finished" in out
+
+    def test_run_table1_with_seed(self, capsys):
+        assert main(["run", "table1", "--seed", "3"]) == 0
+        assert "selected FFT bins" in capsys.readouterr().out
+
+    def test_save_writes_csv_and_npz(self, tmp_path, capsys):
+        directory = str(tmp_path / "results")
+        assert main(["run", "table1", "--seed", "2", "--save", directory]) == 0
+        csv_file = tmp_path / "results" / "table1.csv"
+        npz_file = tmp_path / "results" / "table1.npz"
+        assert csv_file.exists()
+        assert npz_file.exists()
+        header = csv_file.read_text().splitlines()[0]
+        assert header.startswith("index,")
+        import numpy as np
+
+        data = np.load(npz_file)
+        assert "selected_bins" in data
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "table42"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

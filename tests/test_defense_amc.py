@@ -1,0 +1,110 @@
+"""Tests for the hierarchical AMC classifier."""
+
+import numpy as np
+import pytest
+
+from repro.defense.amc import CumulantClassifier, synthesize_symbols
+from repro.errors import ConfigurationError
+
+
+class TestSynthesize:
+    def test_symbols_from_constellation(self):
+        symbols = synthesize_symbols("QPSK", 100, rng=0)
+        assert symbols.size == 100
+        assert np.allclose(np.abs(symbols), 1.0)
+
+    def test_noise_added_at_snr(self):
+        clean = synthesize_symbols("QPSK", 50000, rng=1)
+        noisy = synthesize_symbols("QPSK", 50000, snr_db=10.0, rng=1)
+        extra = np.mean(np.abs(noisy) ** 2) - np.mean(np.abs(clean) ** 2)
+        assert extra == pytest.approx(0.1, rel=0.1)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_symbols("3PSK", 10)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_symbols("QPSK", 0)
+
+
+class TestClassifier:
+    #: 256QAM is excluded: its cumulants sit 0.015 from 64QAM and need
+    #: enormous sample counts to separate.
+    SEPARABLE = ["BPSK", "QPSK", "8PSK", "4PAM", "16QAM", "64QAM"]
+
+    @pytest.mark.parametrize("name", SEPARABLE)
+    def test_classifies_clean_constellations(self, name):
+        classifier = CumulantClassifier(candidates=tuple(self.SEPARABLE))
+        symbols = synthesize_symbols(name, 20000, rng=7)
+        assert classifier.classify(symbols).label == name
+
+    @pytest.mark.parametrize("name", ["BPSK", "QPSK", "16QAM"])
+    def test_classifies_at_moderate_snr_with_correction(self, name):
+        classifier = CumulantClassifier(candidates=tuple(self.SEPARABLE))
+        snr_db = 15.0
+        symbols = synthesize_symbols(name, 20000, snr_db=snr_db, rng=8)
+        result = classifier.classify(symbols, noise_variance=10 ** (-snr_db / 10))
+        assert result.label == name
+
+    def test_distances_cover_all_candidates(self):
+        classifier = CumulantClassifier(candidates=("QPSK", "BPSK"))
+        symbols = synthesize_symbols("QPSK", 5000, rng=9)
+        result = classifier.classify(symbols)
+        assert set(result.distances) == {"QPSK", "BPSK"}
+        assert result.distances["QPSK"] < result.distances["BPSK"]
+
+    def test_abs_c40_variant_handles_rotation(self):
+        classifier = CumulantClassifier(
+            use_abs_c40=True, candidates=("QPSK", "16QAM", "64QAM")
+        )
+        symbols = synthesize_symbols("QPSK", 20000, rng=10) * np.exp(1j * 0.4)
+        assert classifier.classify(symbols).label == "QPSK"
+
+    def test_rejects_unknown_candidate(self):
+        with pytest.raises(ConfigurationError):
+            CumulantClassifier(candidates=("QPSK", "UNOBTAINIUM"))
+
+
+class TestHierarchicalClassifier:
+    def test_family_decision(self):
+        from repro.defense.amc import HierarchicalClassifier
+
+        classifier = HierarchicalClassifier()
+        bpsk = synthesize_symbols("BPSK", 5000, rng=0)
+        qpsk = synthesize_symbols("QPSK", 5000, rng=1)
+        assert classifier.family_of(bpsk) == "real"
+        assert classifier.family_of(qpsk) == "circular"
+
+    @pytest.mark.parametrize(
+        "name", ["BPSK", "4PAM", "QPSK", "8PSK", "16QAM", "64QAM"]
+    )
+    def test_classifies_clean_constellations(self, name):
+        from repro.defense.amc import HierarchicalClassifier
+
+        classifier = HierarchicalClassifier()
+        symbols = synthesize_symbols(name, 20000, rng=3)
+        assert classifier.classify(symbols).label == name
+
+    def test_no_cross_family_confusion_at_low_snr(self):
+        """At 5 dB the flat fourth-order features collapse toward zero,
+        but |C20| still cleanly separates the families."""
+        from repro.defense.amc import (
+            CIRCULAR_FAMILY,
+            HierarchicalClassifier,
+            REAL_FAMILY,
+        )
+
+        classifier = HierarchicalClassifier()
+        for name, family in (("BPSK", REAL_FAMILY), ("QPSK", CIRCULAR_FAMILY)):
+            symbols = synthesize_symbols(name, 20000, snr_db=5.0, rng=4)
+            result = classifier.classify(
+                symbols, noise_variance=10 ** (-0.5)
+            )
+            assert result.label in family
+
+    def test_rejects_bad_threshold(self):
+        from repro.defense.amc import HierarchicalClassifier
+
+        with pytest.raises(ConfigurationError):
+            HierarchicalClassifier(c20_threshold=1.5)

@@ -1,0 +1,128 @@
+"""Tests for the rejected baseline defenses (Sec. VI-A1)."""
+
+import numpy as np
+import pytest
+
+from repro.defense.baselines import (
+    ChipSequenceBaseline,
+    CyclicPrefixDetector,
+    PhaseTrajectoryBaseline,
+)
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform
+from repro.zigbee.receiver import ZigBeeReceiver
+
+
+class TestCyclicPrefixDetector:
+    def test_detects_pristine_emulated_waveform(self, emulation_result):
+        detector = CyclicPrefixDetector()
+        score = detector.score(emulation_result.waveform)
+        assert score.mean_correlation > 0.99
+        assert detector.is_emulated(emulation_result.waveform)
+
+    def test_authentic_waveform_scores_lower(self, authentic_link, emulation_result):
+        detector = CyclicPrefixDetector()
+        authentic_score = detector.score(authentic_link.on_air, start=500)
+        emulated_score = detector.score(emulation_result.waveform)
+        assert authentic_score.mean_correlation < emulated_score.mean_correlation
+
+    def test_fails_at_receiver_rate(self, authentic_link, emulated_link):
+        """After channelization the CP structure is unobservable (Fig. 8)."""
+        from repro.utils.signal_ops import polyphase_resample
+
+        receiver = ZigBeeReceiver()
+        detector = CyclicPrefixDetector()
+        scores = {}
+        for label, prepared in (("auth", authentic_link), ("emu", emulated_link)):
+            baseband = receiver.channelize(prepared.on_air)
+            upsampled = Waveform(
+                polyphase_resample(baseband.samples, 4e6, 20e6), 20e6
+            )
+            scores[label] = detector.score_best_alignment(upsampled).mean_correlation
+        # No clean threshold: the class gap collapses below 0.2.
+        assert abs(scores["emu"] - scores["auth"]) < 0.2
+
+    def test_best_alignment_at_least_aligned_score(self, emulation_result):
+        detector = CyclicPrefixDetector()
+        aligned = detector.score(emulation_result.waveform).mean_correlation
+        best = detector.score_best_alignment(
+            emulation_result.waveform
+        ).mean_correlation
+        assert best >= aligned - 1e-12
+
+    def test_rejects_short_waveform(self):
+        with pytest.raises(ConfigurationError):
+            CyclicPrefixDetector().score(Waveform(np.ones(10, dtype=complex), 20e6))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CyclicPrefixDetector(decision_threshold=0.0)
+
+
+class TestPhaseTrajectory:
+    def test_self_correlation_is_one(self, authentic_link):
+        receiver = ZigBeeReceiver()
+        baseband = receiver.channelize(authentic_link.on_air)
+        baseline = PhaseTrajectoryBaseline()
+        score = baseline.score(baseband, baseband)
+        assert score.correlation == pytest.approx(1.0)
+
+    def test_deviation_statistic_matches_across_classes(
+        self, authentic_link, emulated_link
+    ):
+        """The reference-free statistic can't separate the classes."""
+        receiver = ZigBeeReceiver()
+        baseline = PhaseTrajectoryBaseline()
+        auth = baseline.estimate_frequency_deviation(
+            receiver.channelize(authentic_link.on_air)
+        )
+        emu = baseline.estimate_frequency_deviation(
+            receiver.channelize(emulated_link.on_air)
+        )
+        assert emu == pytest.approx(auth, rel=0.25)
+
+    def test_chip_rate_estimate_near_2mchips(self, authentic_link):
+        receiver = ZigBeeReceiver()
+        baseline = PhaseTrajectoryBaseline()
+        rate = baseline.estimate_chip_rate(
+            receiver.channelize(authentic_link.on_air)
+        )
+        assert rate == pytest.approx(2e6, rel=0.25)
+
+    def test_clipping_bounds_output(self, emulated_link):
+        receiver = ZigBeeReceiver()
+        baseband = receiver.channelize(emulated_link.on_air)
+        frequency = PhaseTrajectoryBaseline.instantaneous_frequency(baseband)
+        assert np.max(np.abs(frequency)) <= 1e6 + 1e-6
+
+    def test_short_waveform_rejected(self):
+        baseline = PhaseTrajectoryBaseline()
+        tiny = Waveform(np.ones(1, dtype=complex), 4e6)
+        with pytest.raises(ConfigurationError):
+            baseline.estimate_frequency_deviation(tiny)
+
+
+class TestChipSequenceBaseline:
+    def test_identical_chips_agree(self):
+        from repro.zigbee.spreading import spread_symbols
+
+        chips = spread_symbols([1, 2, 3])
+        score = ChipSequenceBaseline().score(chips, chips)
+        assert score.chip_agreement == 1.0
+        assert score.symbol_agreement == 1.0
+
+    def test_different_chips_same_symbols(self):
+        """The paper's Fig. 9b: chips differ, decoded symbols agree."""
+        from repro.zigbee.spreading import spread_symbols
+
+        chips = spread_symbols([4, 9])
+        corrupted = chips.copy()
+        corrupted[[1, 7, 13, 33, 40, 55]] ^= 1
+        score = ChipSequenceBaseline().score(chips, corrupted)
+        assert score.chip_agreement < 1.0
+        assert score.symbol_agreement == 1.0
+        assert score.symbols_a == score.symbols_b == [4, 9]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            ChipSequenceBaseline().score([0, 1], [0])

@@ -1,0 +1,88 @@
+"""Tests for the from-scratch k-means implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defense.kmeans import cluster_phase_offset, kmeans
+from repro.errors import ConfigurationError
+
+
+def _four_clusters(n_per=50, spread=0.05, rotation=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.exp(1j * (np.array([0, 0.5, 1.0, 1.5]) * np.pi + rotation))
+    points = []
+    for center in centers:
+        noise = spread * (rng.standard_normal(n_per) + 1j * rng.standard_normal(n_per))
+        points.append(center + noise)
+    return np.concatenate(points)
+
+
+class TestKMeans:
+    def test_finds_four_clusters(self):
+        points = _four_clusters()
+        result = kmeans(points, k=4, rng=0)
+        expected = np.exp(1j * np.array([-np.pi, -np.pi / 2, 0, np.pi / 2]))
+        # Centres sorted by angle; compare as sets via minimum distances.
+        for center in result.centers:
+            assert np.min(np.abs(center - expected)) < 0.05
+
+    def test_labels_consistent_with_centers(self):
+        points = _four_clusters()
+        result = kmeans(points, k=4, rng=1)
+        for point, label in zip(points, result.labels):
+            distances = np.abs(point - result.centers)
+            assert np.argmin(distances) == label
+
+    def test_inertia_small_for_tight_clusters(self):
+        tight = kmeans(_four_clusters(spread=0.01), k=4, rng=0)
+        loose = kmeans(_four_clusters(spread=0.3), k=4, rng=0)
+        assert tight.inertia < loose.inertia
+
+    def test_single_cluster(self):
+        points = np.ones(10, dtype=complex)
+        result = kmeans(points, k=1, rng=0)
+        assert result.centers[0] == pytest.approx(1.0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_equals_n(self):
+        points = np.array([0.0, 1.0, 2.0, 3.0], dtype=complex)
+        result = kmeans(points, k=4, rng=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_with_seed(self):
+        points = _four_clusters(seed=5)
+        a = kmeans(points, k=4, rng=9)
+        b = kmeans(points, k=4, rng=9)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.ones(3, dtype=complex), k=4)
+        with pytest.raises(ConfigurationError):
+            kmeans(np.ones(3, dtype=complex), k=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_inertia_never_exceeds_total_variance(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.standard_normal(60) + 1j * rng.standard_normal(60)
+        result = kmeans(points, k=4, rng=seed)
+        around_mean = float(np.sum(np.abs(points - points.mean()) ** 2))
+        assert result.inertia <= around_mean + 1e-9
+
+
+class TestPhaseOffset:
+    def test_zero_for_axis_aligned(self):
+        result = kmeans(_four_clusters(spread=0.01), k=4, rng=0)
+        assert cluster_phase_offset(result) == pytest.approx(0.0, abs=0.02)
+
+    def test_detects_rotation(self):
+        result = kmeans(_four_clusters(spread=0.01, rotation=0.2), k=4, rng=0)
+        assert cluster_phase_offset(result) == pytest.approx(0.2, abs=0.03)
+
+    def test_rejects_wrong_cluster_count(self):
+        result = kmeans(_four_clusters(), k=3, rng=0)
+        with pytest.raises(ConfigurationError):
+            cluster_phase_offset(result)

@@ -1,0 +1,99 @@
+"""Tests for the logistic-regression baseline detector."""
+
+import numpy as np
+import pytest
+
+from repro.defense.constellation import reconstruct_constellation
+from repro.defense.mlbaseline import (
+    FEATURE_NAMES,
+    LogisticDetector,
+    build_dataset,
+    feature_vector,
+)
+from repro.errors import ConfigurationError
+
+
+def _synthetic_dataset(n_per=40, seed=0):
+    """Separable 2-class blobs in feature space."""
+    rng = np.random.default_rng(seed)
+    class0 = rng.normal([1.0, 1.0, -1.0, 0.0, 4.0], 0.05, size=(n_per, 5))
+    class1 = rng.normal([0.6, 0.7, -0.7, 0.3, 3.0], 0.05, size=(n_per, 5))
+    features = np.vstack([class0, class1])
+    labels = np.concatenate([np.zeros(n_per), np.ones(n_per)])
+    return features, labels
+
+
+class TestFeatureVector:
+    def test_shape_and_names(self):
+        rng = np.random.default_rng(0)
+        chips = 2.0 * rng.integers(0, 2, 512) - 1.0
+        points = reconstruct_constellation(chips)
+        vector = feature_vector(points)
+        assert vector.shape == (len(FEATURE_NAMES),)
+
+    def test_clean_qpsk_values(self):
+        rng = np.random.default_rng(1)
+        chips = 2.0 * rng.integers(0, 2, 2048) - 1.0
+        vector = feature_vector(reconstruct_constellation(chips))
+        assert vector[0] == pytest.approx(1.0, abs=0.05)   # Re C40
+        assert vector[2] == pytest.approx(-1.0, abs=0.05)  # C42
+        assert vector[4] == pytest.approx(4.0, abs=0.3)    # C63
+
+
+class TestLogisticDetector:
+    def test_learns_separable_classes(self):
+        features, labels = _synthetic_dataset()
+        model = LogisticDetector().fit(features, labels)
+        assert model.score(features, labels) == 1.0
+
+    def test_probabilities_ordered(self):
+        features, labels = _synthetic_dataset()
+        model = LogisticDetector().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert probabilities[labels == 1].min() > probabilities[labels == 0].max()
+
+    def test_generalizes_to_held_out(self):
+        features, labels = _synthetic_dataset(seed=2)
+        train = np.arange(labels.size) % 2 == 0
+        model = LogisticDetector().fit(features[train], labels[train])
+        assert model.score(features[~train], labels[~train]) >= 0.95
+
+    def test_untrained_raises(self):
+        with pytest.raises(ConfigurationError):
+            LogisticDetector().predict_proba(np.zeros((1, 5)))
+
+    def test_rejects_single_class(self):
+        features = np.random.default_rng(0).normal(size=(10, 5))
+        with pytest.raises(ConfigurationError):
+            LogisticDetector().fit(features, np.zeros(10))
+
+    def test_separates_real_attack_data(self, authentic_link, emulated_link):
+        """End-to-end: features from actual receptions are separable."""
+        from repro.channel.awgn import AwgnChannel
+        from repro.experiments.defense_common import defense_receiver
+
+        receiver = defense_receiver()
+        constellations, labels = [], []
+        for i in range(6):
+            for label, link in ((0, authentic_link), (1, emulated_link)):
+                noisy = AwgnChannel(15, rng=10 * i + label).apply(link.on_air)
+                packet = receiver.receive(noisy)
+                constellations.append(
+                    reconstruct_constellation(
+                        packet.diagnostics.psdu_quadrature_soft_chips
+                    )
+                )
+                labels.append(label)
+        features, y = build_dataset(constellations, labels)
+        model = LogisticDetector().fit(features, y)
+        assert model.score(features, y) == 1.0
+
+
+class TestBuildDataset:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset([np.ones(4, dtype=complex)], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset([], [])

@@ -1,0 +1,114 @@
+"""Tests for moments/cumulants estimation and the Table III values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defense.amc import synthesize_symbols
+from repro.defense.moments import (
+    estimate_cumulants,
+    reference_constellations,
+    theoretical_cumulants,
+    theoretical_table,
+)
+from repro.errors import ConfigurationError
+
+#: Printed Table III values.
+PAPER_VALUES = {
+    "BPSK": (1.0, -2.0000, -2.0000),
+    "QPSK": (0.0, 1.0000, -1.0000),
+    "8PSK": (0.0, 0.0000, -1.0000),
+    "4PAM": (1.0, -1.3600, -1.3600),
+    "8PAM": (1.0, -1.2381, -1.2381),
+    "16PAM": (1.0, -1.2094, -1.2094),
+    "16QAM": (0.0, -0.6800, -0.6800),
+    "64QAM": (0.0, -0.6190, -0.6190),
+    "256QAM": (0.0, -0.6047, -0.6047),
+}
+
+
+class TestTheoreticalTable:
+    @pytest.mark.parametrize("name", sorted(PAPER_VALUES))
+    def test_matches_paper_table3(self, name):
+        c20, c40, c42 = theoretical_cumulants(name)
+        paper_c20, paper_c40, paper_c42 = PAPER_VALUES[name]
+        assert np.real(c20) == pytest.approx(paper_c20, abs=1e-4)
+        assert np.real(c40) == pytest.approx(paper_c40, abs=1e-4)
+        assert c42 == pytest.approx(paper_c42, abs=1e-4)
+
+    def test_all_constellations_unit_power(self):
+        for name, points in reference_constellations().items():
+            assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0), name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            theoretical_cumulants("32APSK")
+
+    def test_table_complete(self):
+        assert set(theoretical_table()) == set(PAPER_VALUES)
+
+
+class TestSampleEstimation:
+    @pytest.mark.parametrize("name", ["QPSK", "16QAM", "64QAM", "BPSK"])
+    def test_noiseless_estimates_converge(self, name):
+        symbols = synthesize_symbols(name, 50000, rng=0)
+        estimate = estimate_cumulants(symbols)
+        _, c40, c42 = theoretical_cumulants(name)
+        assert np.real(estimate.c40_hat) == pytest.approx(np.real(c40), abs=0.03)
+        assert estimate.c42_hat == pytest.approx(c42, abs=0.03)
+
+    def test_gaussian_noise_has_zero_fourth_cumulants(self):
+        rng = np.random.default_rng(0)
+        noise = (rng.standard_normal(200000) + 1j * rng.standard_normal(200000))
+        noise /= np.sqrt(2)
+        estimate = estimate_cumulants(noise)
+        assert abs(estimate.c40_hat) < 0.05
+        assert abs(estimate.c42_hat) < 0.05
+
+    def test_noise_correction_recovers_clean_statistics(self):
+        """The paper's Sec. VI-B2 noise subtraction removes the SNR bias."""
+        snr_db = 7.0
+        noise_var = 10 ** (-snr_db / 10)
+        symbols = synthesize_symbols("QPSK", 100000, snr_db=snr_db, rng=1)
+        biased = estimate_cumulants(symbols)
+        corrected = estimate_cumulants(symbols, noise_variance=noise_var)
+        assert abs(np.real(corrected.c40_hat) - 1.0) < 0.05
+        # Without correction, the estimate is biased low by (1+N)^-2 ~ 0.69.
+        assert np.real(biased.c40_hat) < 0.8
+
+    def test_rotation_rotates_c40_not_c42(self):
+        symbols = synthesize_symbols("QPSK", 20000, rng=2)
+        rotated = symbols * np.exp(1j * 0.3)
+        a = estimate_cumulants(symbols)
+        b = estimate_cumulants(rotated)
+        assert abs(b.c40_hat) == pytest.approx(abs(a.c40_hat), abs=0.01)
+        assert np.angle(b.c40_hat) == pytest.approx(
+            np.angle(a.c40_hat) + 4 * 0.3, abs=0.02
+        )
+        assert b.c42_hat == pytest.approx(a.c42_hat, abs=0.01)
+
+    def test_scale_invariance_of_normalized_cumulants(self):
+        symbols = synthesize_symbols("16QAM", 20000, rng=3)
+        a = estimate_cumulants(symbols)
+        b = estimate_cumulants(4.2 * symbols)
+        assert np.real(b.c40_hat) == pytest.approx(np.real(a.c40_hat), rel=1e-9)
+        assert b.c42_hat == pytest.approx(a.c42_hat, rel=1e-9)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ConfigurationError):
+            estimate_cumulants(np.ones(3, dtype=complex))
+
+    def test_rejects_excess_noise_variance(self):
+        symbols = synthesize_symbols("QPSK", 100, rng=4)
+        with pytest.raises(ConfigurationError):
+            estimate_cumulants(symbols, noise_variance=10.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(["QPSK", "16QAM", "64QAM"]),
+           st.floats(min_value=0.1, max_value=3.0))
+    def test_scale_invariance_property(self, name, scale):
+        symbols = synthesize_symbols(name, 4000, rng=0)
+        a = estimate_cumulants(symbols)
+        b = estimate_cumulants(scale * symbols)
+        assert b.c42_hat == pytest.approx(a.c42_hat, rel=1e-6)

@@ -1,0 +1,100 @@
+"""Tests for the online attack monitor."""
+
+import numpy as np
+import pytest
+
+from repro.defense.detector import CumulantDetector
+from repro.defense.monitor import AttackMonitor
+from repro.defense.sequential import SequentialDecision, SequentialDetector
+from repro.errors import ConfigurationError
+from repro.zigbee.receiver import ZigBeeReceiver
+
+
+@pytest.fixture(scope="module")
+def authentic_packet(authentic_link):
+    return ZigBeeReceiver().receive(authentic_link.on_air)
+
+
+@pytest.fixture(scope="module")
+def attack_packet(emulated_link):
+    return ZigBeeReceiver().receive(emulated_link.on_air)
+
+
+class TestPerPacketMode:
+    def test_authentic_packet_no_alert(self, authentic_packet):
+        monitor = AttackMonitor()
+        assert monitor.observe(authentic_packet) is None
+        source = authentic_packet.mac_frame.source
+        assert monitor.verdict_for(source) is None
+
+    def test_attack_packet_alerts(self, attack_packet):
+        monitor = AttackMonitor()
+        alert = monitor.observe(attack_packet)
+        assert alert is not None
+        assert alert.decision is SequentialDecision.ATTACK
+        assert alert.last_statistic > monitor.detector.threshold
+
+    def test_sticky_source_alerts_once(self, attack_packet):
+        monitor = AttackMonitor(sticky=True)
+        assert monitor.observe(attack_packet) is not None
+        assert monitor.observe(attack_packet) is None  # frozen
+
+    def test_non_sticky_alerts_every_time(self, attack_packet):
+        monitor = AttackMonitor(sticky=False)
+        assert monitor.observe(attack_packet) is not None
+        assert monitor.observe(attack_packet) is not None
+
+    def test_reset_clears_state(self, attack_packet):
+        monitor = AttackMonitor()
+        monitor.observe(attack_packet)
+        source = attack_packet.mac_frame.source
+        monitor.reset(source)
+        assert monitor.verdict_for(source) is None
+
+    def test_statistics_recorded_per_source(self, authentic_packet):
+        monitor = AttackMonitor()
+        monitor.observe(authentic_packet)
+        monitor.observe(authentic_packet)
+        source = authentic_packet.mac_frame.source
+        assert len(monitor.sources[source].statistics) == 2
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            AttackMonitor(chip_source="telepathy")
+        with pytest.raises(ConfigurationError):
+            AttackMonitor(min_chips=2)
+
+
+class TestSequentialMode:
+    def _sequential(self):
+        return SequentialDetector(
+            h0_log_mean=np.log(0.001), h1_log_mean=np.log(0.06), log_std=1.0
+        )
+
+    def test_attack_resolves_after_a_few_packets(self, attack_packet):
+        monitor = AttackMonitor(sequential=self._sequential())
+        alert = None
+        for _ in range(10):
+            alert = monitor.observe(attack_packet)
+            if alert is not None:
+                break
+        assert alert is not None
+        assert alert.decision is SequentialDecision.ATTACK
+        assert alert.packets_observed <= 10
+
+    def test_authentic_resolves_h0_silently(self, authentic_packet):
+        monitor = AttackMonitor(sequential=self._sequential())
+        for _ in range(10):
+            assert monitor.observe(authentic_packet) is None
+        source = authentic_packet.mac_frame.source
+        assert monitor.verdict_for(source) is SequentialDecision.AUTHENTIC
+
+    def test_matched_filter_source_with_noise_correction(self, attack_packet):
+        monitor = AttackMonitor(
+            detector=CumulantDetector(use_abs_c40=True),
+            chip_source="matched_filter",
+            noise_corrected=True,
+            sticky=False,
+        )
+        alert = monitor.observe(attack_packet)
+        assert alert is not None

@@ -1,0 +1,138 @@
+"""Tests for the hardware front-end, platform profiles, and RSSI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cc26x2 import Cc26x2Receiver, cc26x2_receiver_config
+from repro.hardware.frontend import (
+    FrontEnd,
+    FrontEndConfig,
+    apply_iq_imbalance,
+    quantize_iq,
+)
+from repro.hardware.rssi import RssiEstimator
+from repro.hardware.usrp import (
+    UsrpN210,
+    gnuradio_simulation_receiver_config,
+    usrp_receiver_config,
+)
+from repro.utils.signal_ops import Waveform, average_power
+
+
+def _tone(n=2048, rate=4e6):
+    return Waveform(0.5 * np.exp(2j * np.pi * 0.1 * np.arange(n)), rate)
+
+
+class TestQuantization:
+    def test_high_resolution_is_near_transparent(self):
+        tone = _tone()
+        quantized = quantize_iq(tone.samples, bits=16, full_scale=2.0)
+        assert np.max(np.abs(quantized - tone.samples)) < 1e-3
+
+    def test_low_resolution_distorts(self):
+        tone = _tone()
+        quantized = quantize_iq(tone.samples, bits=4, full_scale=2.0)
+        error = average_power(quantized - tone.samples)
+        assert error > 1e-4
+
+    def test_clipping_at_full_scale(self):
+        big = np.array([10.0 + 10.0j])
+        quantized = quantize_iq(big, bits=8, full_scale=1.0)
+        assert abs(quantized[0].real) <= 1.0
+        assert abs(quantized[0].imag) <= 1.0
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            quantize_iq(np.ones(4, dtype=complex), bits=0, full_scale=1.0)
+
+
+class TestIqImbalance:
+    def test_identity_when_zero(self):
+        tone = _tone()
+        out = apply_iq_imbalance(tone.samples, 0.0, 0.0)
+        assert np.allclose(out, tone.samples)
+
+    def test_gain_imbalance_changes_q_power(self):
+        tone = _tone()
+        out = apply_iq_imbalance(tone.samples, 1.0, 0.0)
+        assert np.var(out.imag) > np.var(tone.samples.imag)
+
+
+class TestFrontEnd:
+    def test_transmit_applies_gain(self):
+        config = FrontEndConfig(gain=0.75, oscillator_ppm=0.0)
+        fe = FrontEnd(config, rng=0)
+        tone = _tone()
+        out = fe.transmit(tone)
+        assert average_power(out.samples) == pytest.approx(
+            0.75**2 * average_power(tone.samples), rel=0.01
+        )
+
+    def test_cfo_within_ppm_budget(self):
+        config = FrontEndConfig(oscillator_ppm=2.5, carrier_hz=2.435e9)
+        for seed in range(5):
+            fe = FrontEnd(config, rng=seed)
+            assert abs(fe.cfo_hz) <= 2.5e-6 * 2.435e9
+
+    def test_receive_is_nearly_transparent_at_14_bits(self):
+        fe = FrontEnd(FrontEndConfig(oscillator_ppm=0.0), rng=0)
+        tone = _tone()
+        out = fe.receive(tone)
+        assert np.max(np.abs(out.samples - tone.samples)) < 1e-3
+
+    def test_receive_of_silence_is_silence(self):
+        fe = FrontEnd(rng=0)
+        silent = Waveform(np.zeros(64, dtype=complex), 4e6)
+        assert not fe.receive(silent).samples.any()
+
+    def test_rejects_bad_gain(self):
+        with pytest.raises(ConfigurationError):
+            FrontEnd(FrontEndConfig(gain=0.0))
+
+
+class TestPlatformProfiles:
+    def test_usrp_uses_quadrature_demodulation(self):
+        assert usrp_receiver_config().demodulation == "quadrature"
+
+    def test_cc26x2_uses_coherent_demodulation(self):
+        assert cc26x2_receiver_config().demodulation == "matched_filter"
+
+    def test_usrp_has_implementation_loss(self):
+        assert usrp_receiver_config().implementation_loss_db > 0
+        assert cc26x2_receiver_config().implementation_loss_db == 0
+
+    def test_gnuradio_simulation_profile_is_naive(self):
+        config = gnuradio_simulation_receiver_config()
+        assert config.decimation == "naive"
+        assert config.demodulation == "quadrature"
+
+    def test_bundles_provide_front_ends(self):
+        assert UsrpN210(rng=0).front_end() is not None
+        assert Cc26x2Receiver(rng=0).front_end() is not None
+
+
+class TestRssi:
+    def test_unit_power_reads_reference(self):
+        estimator = RssiEstimator(reference_dbm=-40.0)
+        waveform = Waveform(np.ones(4096, dtype=complex), 4e6)
+        assert estimator.estimate(waveform) == pytest.approx(-40.0, abs=0.1)
+
+    def test_quarter_power_reads_6db_lower(self):
+        estimator = RssiEstimator(reference_dbm=-40.0)
+        waveform = Waveform(0.5 * np.ones(4096, dtype=complex), 4e6)
+        assert estimator.estimate(waveform) == pytest.approx(-46.0, abs=0.2)
+
+    def test_offset_applied(self):
+        estimator = RssiEstimator(reference_dbm=-40.0, offset_db=3.0)
+        waveform = Waveform(np.ones(4096, dtype=complex), 4e6)
+        assert estimator.estimate(waveform) == pytest.approx(-37.0, abs=0.1)
+
+    def test_rejects_empty_window(self):
+        estimator = RssiEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.estimate(Waveform(np.ones(10, dtype=complex), 4e6), start=10)
+
+    def test_from_power(self):
+        estimator = RssiEstimator(offset_db=1.5)
+        assert estimator.estimate_from_power_dbm(-50.0) == pytest.approx(-48.5)

@@ -1,0 +1,120 @@
+"""Tests for messages, metrics, and the end-to-end link stacks."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import AwgnChannel
+from repro.errors import ConfigurationError
+from repro.link.messages import iter_messages, paper_text_corpus
+from repro.link.metrics import ErrorRateAccumulator, symbol_errors
+from repro.link.stack import EmulationAttackLink, ZigBeeDirectLink
+
+
+class TestMessages:
+    def test_paper_corpus(self):
+        corpus = paper_text_corpus()
+        assert len(corpus) == 100
+        assert corpus[0] == b"00000"
+        assert corpus[-1] == b"00099"
+
+    def test_custom_width(self):
+        corpus = paper_text_corpus(count=3, width=3)
+        assert corpus == [b"000", b"001", b"002"]
+
+    def test_iter_matches_list(self):
+        assert list(iter_messages(5)) == paper_text_corpus(5)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            paper_text_corpus(count=11, width=1)
+
+
+class TestMetrics:
+    def test_symbol_errors_counts_mismatches(self):
+        assert symbol_errors([1, 2, 3], [1, 0, 3]) == 1
+
+    def test_none_counts_as_error(self):
+        assert symbol_errors([1, 2], [1, None]) == 1
+
+    def test_short_decode_counts_missing(self):
+        assert symbol_errors([1, 2, 3], [1]) == 2
+
+    def test_accumulator_rates(self):
+        acc = ErrorRateAccumulator()
+        acc.record([1, 2, 3, 4], [1, 2, 3, 4], packet_ok=True)
+        acc.record([1, 2, 3, 4], [1, 0, 3, 4], packet_ok=False, hamming=[0, 5, 0, 0])
+        assert acc.packet_error_rate == pytest.approx(0.5)
+        assert acc.symbol_error_rate == pytest.approx(1 / 8)
+        assert acc.success_rate == pytest.approx(0.5)
+
+    def test_record_lost(self):
+        acc = ErrorRateAccumulator()
+        acc.record_lost(10)
+        assert acc.packet_error_rate == 1.0
+        assert acc.symbol_error_rate == 1.0
+
+    def test_hamming_histogram_normalized(self):
+        acc = ErrorRateAccumulator()
+        acc.record([1], [1], True, hamming=[0, 0, 4, 4, 8])
+        histogram = acc.hamming_histogram()
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram[0] == pytest.approx(0.4)
+        assert histogram[4] == pytest.approx(0.4)
+
+    def test_empty_accumulator_raises(self):
+        with pytest.raises(ConfigurationError):
+            _ = ErrorRateAccumulator().packet_error_rate
+
+
+class TestLinks:
+    def test_direct_link_clean(self):
+        outcome = ZigBeeDirectLink().send(b"clean-link")
+        assert outcome.delivered
+        assert outcome.psdu_symbol_errors == 0
+
+    def test_direct_link_noisy(self):
+        outcome = ZigBeeDirectLink().send(
+            b"noisy-link", channel=AwgnChannel(12, rng=0)
+        )
+        assert outcome.delivered
+
+    def test_attack_link_delivers_and_reports_emulation(self):
+        outcome = EmulationAttackLink().send(b"attack-link")
+        assert outcome.delivered
+        assert outcome.emulation is not None
+        assert outcome.hamming_distances
+        assert max(outcome.hamming_distances) >= 1
+
+    def test_attack_link_under_noise(self):
+        outcome = EmulationAttackLink().send(
+            b"attack-noisy", channel=AwgnChannel(15, rng=1)
+        )
+        assert outcome.delivered
+
+    def test_lost_packet_counts_all_symbol_errors(self):
+        # Massive noise: sync fails -> outcome not synchronized.
+        outcome = ZigBeeDirectLink().send(
+            b"lost", channel=AwgnChannel(-25, rng=2)
+        )
+        if not outcome.synchronized:
+            assert outcome.psdu_symbol_errors == outcome.truth_psdu_symbols.size
+        else:
+            assert not outcome.delivered
+
+    def test_send_frame_roundtrip(self):
+        from repro.zigbee.frame import MacFrame
+
+        frame = MacFrame(payload=b"explicit", sequence_number=77)
+        outcome = ZigBeeDirectLink().send_frame(frame)
+        assert outcome.delivered
+        assert outcome.packet.mac_frame.sequence_number == 77
+
+    def test_front_ends_applied(self):
+        from repro.hardware.frontend import FrontEnd, FrontEndConfig
+
+        link = ZigBeeDirectLink(
+            tx_front_end=FrontEnd(FrontEndConfig(gain=0.75), rng=0),
+            rx_front_end=FrontEnd(FrontEndConfig(), rng=1),
+        )
+        outcome = link.send(b"hardware")
+        assert outcome.delivered

@@ -1,0 +1,74 @@
+"""Tests for the multi-device attack-campaign simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.link.campaign import CampaignSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return CampaignSimulator([1.0, 3.0], rng=11)
+
+
+class TestCampaign:
+    def test_gateway_command_delivers(self, simulator):
+        event = simulator.gateway_command(2, b"TURN-ON")
+        assert not event.is_attack
+        assert event.delivered
+        assert not event.detected
+
+    def test_replay_requires_prior_observation(self):
+        fresh = CampaignSimulator([2.0], rng=0)
+        with pytest.raises(ConfigurationError):
+            fresh.attacker_replay(2)
+
+    def test_replay_delivers_and_is_detected(self, simulator):
+        simulator.gateway_command(3, b"OPEN-LOCK")
+        event = simulator.attacker_replay(3)
+        assert event.is_attack
+        assert event.delivered   # the attack works at the MAC layer...
+        assert event.detected    # ...and the PHY defense flags it
+
+    def test_stats_accounting(self):
+        sim = CampaignSimulator([2.0], rng=3)
+        sim.gateway_command(2, b"A")
+        sim.attacker_replay(2)
+        sim.gateway_command(2, b"B")
+        stats = sim.stats[2]
+        assert stats.legitimate_sent == 2
+        assert stats.attacks_sent == 1
+        assert 0.0 <= stats.attack_success_rate <= 1.0
+
+    def test_random_campaign_no_false_alarms(self):
+        sim = CampaignSimulator([1.0, 4.0], rng=5)
+        sim.run_random_campaign(rounds=6, attack_probability=0.5)
+        false_alarms = [
+            event for event in sim.events
+            if not event.is_attack and event.detected
+        ]
+        assert not false_alarms
+
+    def test_random_campaign_detects_delivered_attacks(self):
+        sim = CampaignSimulator([1.0, 4.0], rng=6)
+        sim.run_random_campaign(rounds=6, attack_probability=0.8)
+        delivered_attacks = [
+            event for event in sim.events if event.is_attack and event.delivered
+        ]
+        assert delivered_attacks  # the attack does land...
+        detected = [event for event in delivered_attacks if event.detected]
+        assert len(detected) == len(delivered_attacks)  # ...and is caught
+
+    def test_rejects_empty_topology(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSimulator([])
+
+    def test_rejects_unknown_device(self, simulator):
+        with pytest.raises(ConfigurationError):
+            simulator.gateway_command(99, b"X")
+
+    def test_rejects_bad_campaign_parameters(self, simulator):
+        with pytest.raises(ConfigurationError):
+            simulator.run_random_campaign(rounds=0)
+        with pytest.raises(ConfigurationError):
+            simulator.run_random_campaign(rounds=1, attack_probability=1.5)

@@ -1,0 +1,86 @@
+"""Tests for energy-detection CCA and the CSMA/CA sender."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.link.csma import BackoffOutcome, CsmaSender, EnergyDetector
+from repro.utils.signal_ops import Waveform
+
+
+def _medium(busy_regions, n=100000, rate=4e6, level=1.0):
+    samples = np.zeros(n, dtype=complex)
+    for start, stop in busy_regions:
+        samples[start:stop] = level
+    return Waveform(samples, rate)
+
+
+class TestEnergyDetector:
+    def test_idle_channel_is_idle(self):
+        detector = EnergyDetector(threshold_db=-15.0)
+        result = detector.assess(_medium([]))
+        assert not result.busy
+
+    def test_strong_signal_is_busy(self):
+        detector = EnergyDetector(threshold_db=-15.0)
+        result = detector.assess(_medium([(0, 100000)]))
+        assert result.busy
+        assert result.energy_db == pytest.approx(0.0, abs=0.1)
+
+    def test_window_scaling_with_rate(self):
+        detector = EnergyDetector(window_s=128e-6)
+        assert detector.window_samples(4e6) == 512
+        assert detector.window_samples(20e6) == 2560
+
+    def test_busy_fraction(self):
+        detector = EnergyDetector(threshold_db=-15.0)
+        # Busy for the first half of the trace.
+        medium = _medium([(0, 50000)])
+        fraction = detector.busy_fraction(medium)
+        assert fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_rejects_empty_window(self):
+        detector = EnergyDetector()
+        with pytest.raises(ConfigurationError):
+            detector.assess(_medium([]), start=10**9)
+
+    def test_detects_real_zigbee_frame(self, authentic_link):
+        """The attacker can sense nearby ZigBee activity (ref [20])."""
+        detector = EnergyDetector(threshold_db=-15.0)
+        busy = detector.assess(authentic_link.on_air, start=600)
+        assert busy.busy
+
+
+class TestCsmaSender:
+    def test_transmits_on_idle_medium(self):
+        sender = CsmaSender(rng=0)
+        outcome = sender.attempt(_medium([]))
+        assert outcome.transmitted
+        assert outcome.attempts == 1
+
+    def test_defers_on_busy_medium(self):
+        sender = CsmaSender(rng=1, max_attempts=3)
+        outcome = sender.attempt(_medium([(0, 100000)]))
+        assert not outcome.transmitted
+        assert outcome.attempts == 3
+        assert all(a.busy for a in outcome.assessments)
+
+    def test_waits_out_a_busy_head(self):
+        # Busy only for the first 10 ms; the sender's backoff eventually
+        # lands in the idle tail.
+        medium = _medium([(0, 40000)], n=400000)
+        sender = CsmaSender(rng=2, max_attempts=10)
+        outcome = sender.attempt(medium)
+        assert outcome.transmitted
+        assert outcome.total_backoff_s > 0
+
+    def test_backoff_time_accumulates(self):
+        sender = CsmaSender(rng=3, max_attempts=4)
+        outcome = sender.attempt(_medium([(0, 100000)]))
+        assert outcome.total_backoff_s >= 4 * sender.detector.window_s - 1e-9
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CsmaSender(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            CsmaSender(min_exponent=5, max_exponent=3)

@@ -1,0 +1,104 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    pack_nibbles,
+    unpack_nibbles,
+)
+
+
+class TestBytesBits:
+    def test_lsb_first_expansion(self):
+        bits = bytes_to_bits(b"\x01")
+        assert list(bits) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_msb_first_expansion(self):
+        bits = bytes_to_bits(b"\x01", lsb_first=False)
+        assert list(bits) == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_empty_input(self):
+        assert bytes_to_bits(b"").size == 0
+
+    def test_pack_rejects_ragged_length(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_pack_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes([0, 1, 2, 0, 1, 0, 1, 0])
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_roundtrip_msb(self, data):
+        bits = bytes_to_bits(data, lsb_first=False)
+        assert bits_to_bytes(bits, lsb_first=False) == data
+
+
+class TestIntBits:
+    def test_known_value(self):
+        assert list(int_to_bits(0xA7, 8)) == [1, 1, 1, 0, 0, 1, 0, 1]
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            int_to_bits(256, 8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            int_to_bits(-1, 8)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_roundtrip_msb(self, value):
+        bits = int_to_bits(value, 12, lsb_first=False)
+        assert bits_to_int(bits, lsb_first=False) == value
+
+
+class TestNibbles:
+    def test_low_nibble_first(self):
+        assert list(unpack_nibbles(b"\xa7")) == [0x7, 0xA]
+
+    def test_pack_rejects_odd_count(self):
+        with pytest.raises(ConfigurationError):
+            pack_nibbles([1, 2, 3])
+
+    def test_pack_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            pack_nibbles([16, 0])
+
+    @given(st.binary(max_size=32))
+    def test_roundtrip(self, data):
+        assert pack_nibbles(unpack_nibbles(data)) == data
+
+
+class TestHammingDistance:
+    def test_zero_for_identical(self):
+        assert hamming_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_counts_differences(self):
+        assert hamming_distance([1, 1, 0, 0], [0, 1, 1, 0]) == 2
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            hamming_distance([1, 0], [1])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    def test_symmetry(self, bits):
+        other = [1 - b for b in bits]
+        assert hamming_distance(bits, other) == len(bits)
+        assert hamming_distance(bits, bits) == 0

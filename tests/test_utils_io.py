@@ -1,0 +1,54 @@
+"""Tests for waveform persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.io import load_waveform, save_waveform
+from repro.utils.signal_ops import Waveform
+
+
+class TestWaveformIo:
+    def test_roundtrip(self, tmp_path):
+        original = Waveform(
+            np.exp(2j * np.pi * 0.01 * np.arange(256)), 4e6
+        )
+        path = tmp_path / "capture.npz"
+        save_waveform(path, original, {"payload": "00042", "snr_db": "12"})
+        loaded, metadata = load_waveform(path)
+        assert np.allclose(loaded.samples, original.samples)
+        assert loaded.sample_rate_hz == 4e6
+        assert metadata == {"payload": "00042", "snr_db": "12"}
+
+    def test_suffix_appended(self, tmp_path):
+        waveform = Waveform(np.ones(8, dtype=complex), 1.0)
+        save_waveform(tmp_path / "capture", waveform)
+        loaded, metadata = load_waveform(tmp_path / "capture")
+        assert len(loaded) == 8
+        assert metadata == {}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_waveform(tmp_path / "nothing.npz")
+
+    def test_non_capture_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, unrelated=np.arange(4))
+        with pytest.raises(ConfigurationError):
+            load_waveform(path)
+
+    def test_bad_metadata_rejected(self, tmp_path):
+        waveform = Waveform(np.ones(4, dtype=complex), 1.0)
+        with pytest.raises(ConfigurationError):
+            save_waveform(tmp_path / "x.npz", waveform, {"k": 3})
+
+    def test_transmitted_frame_roundtrip(self, tmp_path, authentic_link):
+        """A real frame survives save/load and still decodes."""
+        from repro.zigbee.receiver import ZigBeeReceiver
+
+        path = tmp_path / "frame.npz"
+        save_waveform(path, authentic_link.on_air, {"kind": "authentic"})
+        loaded, metadata = load_waveform(path)
+        assert metadata["kind"] == "authentic"
+        packet = ZigBeeReceiver().receive(loaded)
+        assert packet.fcs_ok

@@ -1,0 +1,149 @@
+"""Tests for waveform utilities: power, resampling, interpolation, shift."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import (
+    Waveform,
+    average_power,
+    db_to_linear,
+    fft_interpolate,
+    frequency_shift,
+    linear_to_db,
+    lowpass_filter,
+    normalize_power,
+    papr_db,
+    polyphase_resample,
+)
+
+
+class TestWaveform:
+    def test_duration(self):
+        w = Waveform(np.zeros(400, dtype=complex), 4e6)
+        assert w.duration_s == pytest.approx(1e-4)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            Waveform(np.zeros(4, dtype=complex), 0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            Waveform(np.zeros((2, 2), dtype=complex), 1.0)
+
+    def test_resampled_to_changes_length(self):
+        w = Waveform(np.ones(100, dtype=complex), 4e6)
+        up = w.resampled_to(20e6)
+        assert len(up) == 500
+        assert up.sample_rate_hz == 20e6
+
+    def test_time_axis(self):
+        w = Waveform(np.ones(3, dtype=complex), 2.0)
+        assert np.allclose(w.time_axis(), [0.0, 0.5, 1.0])
+
+
+class TestPower:
+    def test_average_power_of_unit_tone(self):
+        tone = np.exp(2j * np.pi * 0.1 * np.arange(1000))
+        assert average_power(tone) == pytest.approx(1.0)
+
+    def test_normalize_power(self):
+        x = 3.0 * np.ones(10, dtype=complex)
+        assert average_power(normalize_power(x)) == pytest.approx(1.0)
+
+    def test_normalize_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            normalize_power(np.zeros(4, dtype=complex))
+
+    def test_db_roundtrip(self):
+        assert linear_to_db(db_to_linear(13.0)) == pytest.approx(13.0)
+
+    def test_papr_of_constant_envelope_is_zero(self):
+        tone = np.exp(2j * np.pi * 0.05 * np.arange(256))
+        assert papr_db(tone) == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    def test_normalize_to_target(self, target):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        assert average_power(normalize_power(x, target)) == pytest.approx(target)
+
+
+class TestResampling:
+    def test_fft_interpolate_preserves_samples(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        # Band-limit so interpolation is exact at original points.
+        spectrum = np.fft.fft(x)
+        spectrum[16:48] = 0
+        x = np.fft.ifft(spectrum)
+        y = fft_interpolate(x, 5)
+        assert y.size == 5 * x.size
+        assert np.allclose(y[::5], x, atol=1e-9)
+
+    def test_fft_interpolate_preserves_energy_scale(self):
+        x = np.exp(2j * np.pi * 3 * np.arange(64) / 64)
+        y = fft_interpolate(x, 4)
+        assert average_power(y) == pytest.approx(average_power(x), rel=1e-6)
+
+    def test_fft_interpolate_factor_one(self):
+        x = np.arange(8, dtype=complex)
+        assert np.allclose(fft_interpolate(x, 1), x)
+
+    def test_polyphase_identity(self):
+        x = np.arange(32, dtype=complex)
+        assert np.allclose(polyphase_resample(x, 4e6, 4e6), x)
+
+    def test_polyphase_ratio(self):
+        x = np.ones(100, dtype=complex)
+        y = polyphase_resample(x, 4e6, 20e6)
+        assert y.size == 500
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            fft_interpolate(np.ones(4, dtype=complex), 0)
+
+
+class TestFrequencyShift:
+    def test_shift_moves_tone(self):
+        n = 1024
+        rate = 20e6
+        tone = np.exp(2j * np.pi * 1e6 * np.arange(n) / rate)
+        shifted = frequency_shift(tone, 2e6, rate)
+        spectrum = np.abs(np.fft.fft(shifted))
+        peak_bin = np.argmax(spectrum)
+        assert peak_bin == pytest.approx(3e6 / rate * n, abs=1)
+
+    def test_shift_preserves_power(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        y = frequency_shift(x, 123456.0, 4e6)
+        assert average_power(y) == pytest.approx(average_power(x))
+
+
+class TestLowpass:
+    def test_passes_in_band_tone(self):
+        rate = 20e6
+        tone = np.exp(2j * np.pi * 0.5e6 * np.arange(4000) / rate)
+        filtered = lowpass_filter(tone, 1.5e6, rate)
+        # Ignore edge transients.
+        assert average_power(filtered[200:-200]) == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_out_of_band_tone(self):
+        rate = 20e6
+        tone = np.exp(2j * np.pi * 6e6 * np.arange(4000) / rate)
+        filtered = lowpass_filter(tone, 1.5e6, rate)
+        assert average_power(filtered[200:-200]) < 0.01
+
+    def test_group_delay_removed(self):
+        rate = 20e6
+        impulse = np.zeros(512, dtype=complex)
+        impulse[100] = 1.0
+        filtered = lowpass_filter(impulse, 2e6, rate)
+        assert np.argmax(np.abs(filtered)) == 100
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ConfigurationError):
+            lowpass_filter(np.ones(16, dtype=complex), 11e6, 20e6)

@@ -1,0 +1,65 @@
+"""Tests for Welch PSD and band-power utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform
+from repro.utils.spectrum import band_power_ratio, welch_psd
+
+
+def _tone(f, rate=20e6, n=8192):
+    return Waveform(np.exp(2j * np.pi * f * np.arange(n) / rate), rate)
+
+
+class TestWelchPsd:
+    def test_tone_peak_at_frequency(self):
+        spectrum = welch_psd(_tone(3e6))
+        peak = spectrum.frequencies_hz[np.argmax(spectrum.psd)]
+        assert peak == pytest.approx(3e6, abs=spectrum.frequencies_hz[1]
+                                     - spectrum.frequencies_hz[0])
+
+    def test_negative_frequency_tone(self):
+        spectrum = welch_psd(_tone(-4e6))
+        peak = spectrum.frequencies_hz[np.argmax(spectrum.psd)]
+        assert peak < 0
+
+    def test_total_power_matches_time_domain(self):
+        waveform = _tone(1e6)
+        spectrum = welch_psd(waveform)
+        assert spectrum.total_power == pytest.approx(1.0, rel=0.05)
+
+    def test_band_power_captures_tone(self):
+        spectrum = welch_psd(_tone(2e6))
+        inside = spectrum.band_power(1.5e6, 2.5e6)
+        outside = spectrum.band_power(-8e6, -7e6)
+        assert inside > 100 * max(outside, 1e-12)
+
+    def test_rejects_short_waveform(self):
+        with pytest.raises(ConfigurationError):
+            welch_psd(Waveform(np.ones(32, dtype=complex), 4e6), segment_length=256)
+
+
+class TestOccupiedBandwidth:
+    def test_zigbee_occupies_about_2mhz(self, authentic_link):
+        spectrum = welch_psd(authentic_link.on_air)
+        bandwidth = spectrum.occupied_bandwidth(0.99)
+        assert 1e6 < bandwidth < 3.5e6
+
+    def test_emulated_waveform_stays_in_band(self, emulated_link):
+        """The attack confines itself to the ZigBee overlap band."""
+        ratio = band_power_ratio(emulated_link.on_air, (-1.5e6, 1.5e6))
+        assert ratio > 0.95
+
+    def test_wifi_frame_occupies_most_of_20mhz(self):
+        from repro.wifi.transmitter import WifiTransmitter
+
+        frame = WifiTransmitter(rate_mbps=54).transmit_psdu(bytes(range(100)))
+        spectrum = welch_psd(frame.waveform)
+        bandwidth = spectrum.occupied_bandwidth(0.99)
+        assert bandwidth > 15e6
+
+    def test_rejects_bad_fraction(self):
+        spectrum = welch_psd(_tone(1e6))
+        with pytest.raises(ConfigurationError):
+            spectrum.occupied_bandwidth(1.5)

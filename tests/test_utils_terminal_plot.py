@@ -1,0 +1,82 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.terminal_plot import bar_chart, line_plot, scatter_plot
+
+
+class TestScatterPlot:
+    def test_renders_points_and_axes(self):
+        points = np.array([1 + 1j, -1 - 1j, 1 - 1j, -1 + 1j])
+        text = scatter_plot(points, width=21, height=11, title="qpsk")
+        assert "qpsk" in text
+        assert "|" in text and "-" in text  # axes drawn
+        assert text.count("\n") >= 12
+
+    def test_density_ramp_used(self):
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [np.full(100, 1 + 1j), 0.02 * (rng.standard_normal(5)
+                                           + 1j * rng.standard_normal(5))]
+        )
+        text = scatter_plot(points, width=21, height=11, axes=False)
+        assert "#" in text  # the dense cluster hits the top of the ramp
+
+    def test_bounds_reported(self):
+        text = scatter_plot(np.array([2 + 3j]), width=21, height=11)
+        assert "I:" in text and "Q:" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            scatter_plot(np.zeros(0, dtype=complex))
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            scatter_plot(np.ones(3, dtype=complex), width=5, height=3)
+
+
+class TestLinePlot:
+    def test_single_series(self):
+        text = line_plot([("sine", np.sin(np.linspace(0, 6, 50)))],
+                         width=40, height=10, title="wave")
+        assert "wave" in text and "o sine" in text
+
+    def test_multiple_series_distinct_markers(self):
+        a = np.linspace(0, 1, 30)
+        text = line_plot([("up", a), ("down", 1 - a)], width=40, height=10)
+        assert "o up" in text and "x down" in text
+        assert "o" in text and "x" in text
+
+    def test_custom_x_axis(self):
+        text = line_plot(
+            [("rate", np.array([0.1, 0.5, 0.9]))],
+            x_values=np.array([7.0, 12.0, 17.0]),
+            width=30, height=8,
+        )
+        assert text  # renders without error
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            line_plot([])
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_labels_aligned(self):
+        text = bar_chart(["short", "a-much-longer-label"], [1, 1])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["x"], [-1.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["x"], [1.0, 2.0])

@@ -1,0 +1,122 @@
+"""Tests for the K=7 convolutional code, puncturing, and Viterbi."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.wifi.convcode import (
+    conv_encode,
+    decode_with_rate,
+    depuncture,
+    encode_with_rate,
+    puncture,
+    viterbi_decode,
+)
+
+
+class TestEncoder:
+    def test_rate_half_output_length(self):
+        assert conv_encode(np.zeros(10, dtype=np.uint8)).size == 20
+
+    def test_all_zero_input_gives_all_zero_output(self):
+        assert not conv_encode(np.zeros(64, dtype=np.uint8)).any()
+
+    def test_impulse_response_matches_generators(self):
+        # A single 1 followed by zeros emits the generator taps:
+        # g0 = 133o = 1011011, g1 = 171o = 1111001.
+        bits = np.zeros(7, dtype=np.uint8)
+        bits[0] = 1
+        coded = conv_encode(bits)
+        assert list(coded[0::2]) == [1, 0, 1, 1, 0, 1, 1]
+        assert list(coded[1::2]) == [1, 1, 1, 1, 0, 0, 1]
+
+    def test_linearity(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 32).astype(np.uint8)
+        b = rng.integers(0, 2, 32).astype(np.uint8)
+        assert np.array_equal(
+            conv_encode(a) ^ conv_encode(b), conv_encode(a ^ b)
+        )
+
+
+class TestPuncturing:
+    def test_rate_34_keeps_two_thirds(self):
+        coded = np.arange(12) % 2
+        punctured = puncture(coded.astype(np.uint8), (3, 4))
+        assert punctured.size == 8
+
+    def test_rate_23_keeps_three_quarters(self):
+        coded = np.zeros(16, dtype=np.uint8)
+        assert puncture(coded, (2, 3)).size == 12
+
+    def test_rate_12_identity(self):
+        coded = np.array([1, 0, 1, 1], dtype=np.uint8)
+        assert np.array_equal(puncture(coded, (1, 2)), coded)
+
+    def test_depuncture_marks_erasures(self):
+        coded = np.ones(6, dtype=np.uint8)
+        restored = depuncture(puncture(coded, (3, 4)), (3, 4))
+        assert restored.size == 6
+        assert np.count_nonzero(restored == 2) == 2
+
+    def test_rejects_unknown_rate(self):
+        with pytest.raises(ConfigurationError):
+            puncture(np.zeros(12, dtype=np.uint8), (5, 6))
+
+    def test_rejects_ragged_length(self):
+        with pytest.raises(ConfigurationError):
+            puncture(np.zeros(7, dtype=np.uint8), (3, 4))
+
+
+class TestViterbi:
+    def _encode_with_tail(self, bits):
+        padded = np.concatenate([bits, np.zeros(6, dtype=np.uint8)])
+        return padded, conv_encode(padded)
+
+    def test_clean_decode(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 50).astype(np.uint8)
+        padded, coded = self._encode_with_tail(bits)
+        decoded = viterbi_decode(coded, padded.size)
+        assert np.array_equal(decoded, padded)
+
+    def test_corrects_scattered_errors(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 60).astype(np.uint8)
+        padded, coded = self._encode_with_tail(bits)
+        corrupted = coded.copy()
+        corrupted[[3, 25, 47, 70, 99]] ^= 1  # spaced single-bit errors
+        decoded = viterbi_decode(corrupted, padded.size)
+        assert np.array_equal(decoded, padded)
+
+    def test_decodes_erasures(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 30).astype(np.uint8)
+        padded, coded = self._encode_with_tail(bits)
+        erased = coded.copy()
+        erased[5::12] = 2
+        decoded = viterbi_decode(erased, padded.size)
+        assert np.array_equal(decoded, padded)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DecodingError):
+            viterbi_decode(np.zeros(10, dtype=np.uint8), 6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=6, max_size=48).filter(
+        lambda b: len(b) % 3 == 0))
+    def test_punctured_roundtrip_property(self, bits):
+        padded = np.concatenate(
+            [np.array(bits, dtype=np.uint8), np.zeros(6, dtype=np.uint8)]
+        )
+        for rate in ((1, 2), (3, 4)):
+            if (2 * padded.size) % (2 * rate[1] // 1) != 0:
+                continue
+            try:
+                punctured = encode_with_rate(padded, rate)
+            except ConfigurationError:
+                continue
+            decoded = decode_with_rate(punctured, rate, padded.size)
+            assert np.array_equal(decoded, padded)

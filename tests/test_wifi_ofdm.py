@@ -1,0 +1,139 @@
+"""Tests for OFDM subcarrier mapping, IFFT/CP assembly, and preamble."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wifi.constants import (
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    PILOT_SUBCARRIERS,
+    SYMBOL_LENGTH,
+    logical_to_fft_index,
+)
+from repro.wifi.ofdm import (
+    assemble_symbols,
+    extract_data_subcarriers,
+    map_subcarriers,
+    ofdm_demodulate_symbol,
+    ofdm_modulate_bins,
+    split_symbols,
+)
+from repro.wifi.preamble import (
+    long_training_field,
+    parse_signal_field,
+    short_training_field,
+    signal_field_bits,
+    signal_field_waveform,
+)
+
+
+class TestSubcarrierMaps:
+    def test_data_subcarrier_count(self):
+        assert len(DATA_SUBCARRIERS) == 48
+
+    def test_pilots_not_in_data(self):
+        assert not set(PILOT_SUBCARRIERS) & set(DATA_SUBCARRIERS)
+
+    def test_dc_unused(self):
+        assert 0 not in DATA_SUBCARRIERS
+
+    def test_paper_overlap_band_is_data(self):
+        # The ZigBee-carrying subcarriers [-20, -8] are all data.
+        assert all(k in DATA_SUBCARRIERS for k in range(-20, -7))
+
+    def test_logical_index_wrapping(self):
+        assert logical_to_fft_index(0) == 0
+        assert logical_to_fft_index(1) == 1
+        assert logical_to_fft_index(-1) == 63
+        assert logical_to_fft_index(-26) == 38
+
+
+class TestMapping:
+    def test_map_and_extract_roundtrip(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        bins = map_subcarriers(points, symbol_index=3)
+        assert np.allclose(extract_data_subcarriers(bins), points)
+
+    def test_pilots_present(self):
+        bins = map_subcarriers(np.zeros(48, dtype=complex), symbol_index=0)
+        pilot_bins = [bins[logical_to_fft_index(k)] for k in PILOT_SUBCARRIERS]
+        assert all(abs(b) == 1.0 for b in pilot_bins)
+
+    def test_nulls_are_zero(self):
+        bins = map_subcarriers(np.ones(48, dtype=complex), include_pilots=False)
+        for k in range(27, 38):  # guard band bins
+            assert bins[k] == 0
+        assert bins[0] == 0  # DC
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ConfigurationError):
+            map_subcarriers(np.zeros(47, dtype=complex))
+
+
+class TestOfdmSymbol:
+    def test_symbol_length(self):
+        bins = np.zeros(FFT_SIZE, dtype=complex)
+        bins[1] = 1.0
+        assert ofdm_modulate_bins(bins).size == SYMBOL_LENGTH
+
+    def test_cyclic_prefix_is_copy_of_tail(self):
+        rng = np.random.default_rng(1)
+        bins = rng.standard_normal(FFT_SIZE) + 1j * rng.standard_normal(FFT_SIZE)
+        symbol = ofdm_modulate_bins(bins)
+        assert np.allclose(symbol[:CP_LENGTH], symbol[-CP_LENGTH:])
+
+    def test_modulate_demodulate_roundtrip(self):
+        rng = np.random.default_rng(2)
+        bins = rng.standard_normal(FFT_SIZE) + 1j * rng.standard_normal(FFT_SIZE)
+        assert np.allclose(ofdm_demodulate_symbol(ofdm_modulate_bins(bins)), bins)
+
+    def test_assemble_multiple_symbols(self):
+        rng = np.random.default_rng(3)
+        points = rng.standard_normal(96) + 1j * rng.standard_normal(96)
+        waveform = assemble_symbols(points)
+        assert waveform.size == 2 * SYMBOL_LENGTH
+        rows = split_symbols(waveform)
+        assert rows.shape == (2, SYMBOL_LENGTH)
+        recovered = extract_data_subcarriers(ofdm_demodulate_symbol(rows[0]))
+        assert np.allclose(recovered, points[:48])
+
+    def test_split_rejects_short_waveform(self):
+        with pytest.raises(ConfigurationError):
+            split_symbols(np.zeros(79, dtype=complex))
+
+
+class TestPreamble:
+    def test_stf_length_and_periodicity(self):
+        stf = short_training_field()
+        assert stf.size == 160
+        assert np.allclose(stf[:16], stf[16:32])
+
+    def test_ltf_length_and_structure(self):
+        ltf = long_training_field()
+        assert ltf.size == 160
+        assert np.allclose(ltf[32:96], ltf[96:160])
+
+    def test_signal_field_roundtrip(self):
+        bits = signal_field_bits(54, 100)
+        rate, length = parse_signal_field(bits)
+        assert (rate, length) == (54, 100)
+
+    def test_signal_field_parity(self):
+        bits = signal_field_bits(6, 4095)
+        assert int(bits[:18].sum()) % 2 == 0
+
+    def test_signal_waveform_length(self):
+        assert signal_field_waveform(54, 40).size == SYMBOL_LENGTH
+
+    def test_signal_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            signal_field_bits(54, 0)
+
+    def test_parse_rejects_bad_parity(self):
+        bits = signal_field_bits(54, 100)
+        bits[17] ^= 1
+        with pytest.raises(ConfigurationError):
+            parse_signal_field(bits)

@@ -1,0 +1,99 @@
+"""Tests for the Gray-coded QAM mappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.wifi.qam import QamModulation, modulation_for_name
+
+
+ALL_NAMES = ["bpsk", "qpsk", "16qam", "64qam"]
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_unit_average_power(self, name):
+        points = modulation_for_name(name).constellation()
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name,size", [("bpsk", 2), ("qpsk", 4),
+                                           ("16qam", 16), ("64qam", 64)])
+    def test_constellation_size(self, name, size):
+        assert modulation_for_name(name).constellation().size == size
+
+    def test_64qam_levels(self):
+        levels = modulation_for_name("64qam").axis_levels
+        assert list(levels) == [-7, -5, -3, -1, 1, 3, 5, 7]
+
+    def test_points_distinct(self):
+        for name in ALL_NAMES:
+            points = modulation_for_name(name).constellation()
+            assert len(np.unique(np.round(points, 9))) == points.size
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            modulation_for_name("128qam")
+
+
+class TestGrayMapping:
+    @pytest.mark.parametrize("name", ALL_NAMES[1:])
+    def test_nearest_neighbours_differ_in_one_bit(self, name):
+        """Gray property: adjacent points differ in exactly one bit."""
+        modulation = modulation_for_name(name)
+        points = modulation.constellation()
+        bps = modulation.bits_per_symbol
+        min_distance = np.sort(
+            np.abs(points[:, None] - points[None, :]).reshape(-1)
+        )
+        step = min_distance[points.size]  # smallest non-zero distance
+        for i in range(points.size):
+            for j in range(points.size):
+                if i != j and abs(points[i] - points[j]) <= step * 1.01:
+                    differing = bin(i ^ j).count("1")
+                    assert differing == 1
+
+
+class TestModulateDemodulate:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_roundtrip(self, name):
+        modulation = modulation_for_name(name)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 20 * modulation.bits_per_symbol).astype(np.uint8)
+        assert np.array_equal(modulation.demodulate(modulation.modulate(bits)), bits)
+
+    def test_rejects_ragged_bits(self):
+        with pytest.raises(ConfigurationError):
+            modulation_for_name("64qam").modulate(np.zeros(7, dtype=np.uint8))
+
+    def test_demodulate_snaps_noisy_points(self):
+        modulation = modulation_for_name("qpsk")
+        bits = np.array([0, 0, 0, 1, 1, 1, 1, 0], dtype=np.uint8)
+        points = modulation.modulate(bits)
+        noisy = points + 0.05 * (1 + 1j)
+        assert np.array_equal(modulation.demodulate(noisy), bits)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(ALL_NAMES), st.integers(0, 2**16 - 1))
+    def test_roundtrip_property(self, name, seed):
+        modulation = modulation_for_name(name)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 6 * modulation.bits_per_symbol).astype(np.uint8)
+        recovered = modulation.demodulate(modulation.modulate(bits))
+        assert np.array_equal(recovered, bits)
+
+
+class TestQuantize:
+    def test_quantize_returns_constellation_points(self):
+        modulation = modulation_for_name("64qam")
+        rng = np.random.default_rng(1)
+        arbitrary = rng.standard_normal(50) + 1j * rng.standard_normal(50)
+        quantized = modulation.quantize(arbitrary)
+        table = set(np.round(modulation.constellation(), 9))
+        assert all(np.round(q, 9) in table for q in quantized)
+
+    def test_quantize_is_idempotent(self):
+        modulation = modulation_for_name("16qam")
+        points = modulation.constellation()
+        assert np.allclose(modulation.quantize(points), points)

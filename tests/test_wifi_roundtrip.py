@@ -1,0 +1,114 @@
+"""Transmitter <-> receiver round trips for the full 802.11g chain."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import AwgnChannel
+from repro.errors import ConfigurationError, DecodingError
+from repro.utils.signal_ops import Waveform
+from repro.wifi.constants import RATES, SYMBOL_LENGTH
+from repro.wifi.interleaver import deinterleave, interleave
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.transmitter import WifiTransmitter
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("rate", sorted(RATES))
+    def test_roundtrip_per_rate(self, rate):
+        params = RATES[rate]
+        rng = np.random.default_rng(rate)
+        bits = rng.integers(0, 2, 2 * params.coded_bits_per_symbol).astype(np.uint8)
+        forward = interleave(
+            bits, params.coded_bits_per_symbol, params.bits_per_subcarrier
+        )
+        assert not np.array_equal(forward, bits)  # actually permutes
+        back = deinterleave(
+            forward, params.coded_bits_per_symbol, params.bits_per_subcarrier
+        )
+        assert np.array_equal(back, bits)
+
+    def test_spreads_adjacent_bits(self):
+        """Adjacent coded bits must land on distant subcarriers."""
+        params = RATES[54]
+        n = params.coded_bits_per_symbol
+        bits = np.zeros(n, dtype=np.uint8)
+        bits[0] = bits[1] = 1
+        forward = interleave(bits, n, params.bits_per_subcarrier)
+        positions = np.flatnonzero(forward)
+        subcarrier_gap = abs(positions[0] - positions[1]) // params.bits_per_subcarrier
+        assert subcarrier_gap >= 2
+
+    def test_rejects_ragged_input(self):
+        with pytest.raises(ConfigurationError):
+            interleave(np.zeros(100, dtype=np.uint8), 288, 6)
+
+
+class TestFullChain:
+    @pytest.mark.parametrize("rate", sorted(RATES))
+    def test_clean_roundtrip_all_rates(self, rate):
+        psdu = bytes((7 * i + rate) % 256 for i in range(33))
+        tx = WifiTransmitter(rate_mbps=rate)
+        result = tx.transmit_psdu(psdu)
+        decoded = WifiReceiver(rate_mbps=rate).decode_psdu(
+            result.waveform, psdu_bytes=len(psdu)
+        )
+        assert decoded.psdu == psdu
+
+    def test_roundtrip_without_preamble(self):
+        tx = WifiTransmitter(rate_mbps=54, include_preamble=False)
+        result = tx.transmit_psdu(b"no-preamble")
+        decoded = WifiReceiver(54).decode_psdu(
+            result.waveform, psdu_bytes=11, has_preamble=False
+        )
+        assert decoded.psdu == b"no-preamble"
+
+    def test_roundtrip_with_offset(self):
+        tx = WifiTransmitter(rate_mbps=24)
+        result = tx.transmit_psdu(b"offset-frame")
+        padded = Waveform(
+            np.concatenate([np.zeros(173, dtype=complex), result.waveform.samples]),
+            20e6,
+        )
+        decoded = WifiReceiver(24).decode_psdu(
+            padded, psdu_bytes=12, frame_start=173
+        )
+        assert decoded.psdu == b"offset-frame"
+
+    def test_roundtrip_survives_moderate_noise(self):
+        tx = WifiTransmitter(rate_mbps=54)
+        result = tx.transmit_psdu(bytes(range(64)))
+        noisy = AwgnChannel(28, rng=0, normalize=False).apply(result.waveform)
+        decoded = WifiReceiver(54).decode_psdu(noisy, psdu_bytes=64)
+        assert decoded.psdu == bytes(range(64))
+
+    def test_roundtrip_survives_flat_channel_gain(self):
+        tx = WifiTransmitter(rate_mbps=54)
+        result = tx.transmit_psdu(b"fading-check")
+        gained = result.waveform.with_samples(
+            result.waveform.samples * (0.7 * np.exp(1j * 0.9))
+        )
+        decoded = WifiReceiver(54).decode_psdu(gained, psdu_bytes=12)
+        assert decoded.psdu == b"fading-check"
+
+    def test_waveform_length_structure(self):
+        tx = WifiTransmitter(rate_mbps=54)
+        result = tx.transmit_psdu(bytes(40))
+        expected_symbols = tx.num_symbols_for(40)
+        assert len(result.waveform) == 400 + expected_symbols * SYMBOL_LENGTH
+
+    def test_transmit_data_points_direct(self):
+        tx = WifiTransmitter(rate_mbps=54, include_preamble=False)
+        rng = np.random.default_rng(5)
+        points = rng.standard_normal(96) + 1j * rng.standard_normal(96)
+        result = tx.transmit_data_points(points)
+        assert result.num_symbols == 2
+        assert len(result.waveform) == 2 * SYMBOL_LENGTH
+
+    def test_transmit_rejects_empty_psdu(self):
+        with pytest.raises(ConfigurationError):
+            WifiTransmitter().transmit_psdu(b"")
+
+    def test_receiver_rejects_short_waveform(self):
+        receiver = WifiReceiver(54)
+        with pytest.raises(DecodingError):
+            receiver.decode_psdu(Waveform(np.zeros(100, dtype=complex), 20e6), 10)

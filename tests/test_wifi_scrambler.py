@@ -1,0 +1,65 @@
+"""Tests for the 802.11 scrambler and pilot polarity sequence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.wifi.scrambler import (
+    descramble,
+    pilot_polarity_sequence,
+    scramble,
+    scrambler_sequence,
+)
+
+
+class TestScramblerSequence:
+    def test_known_prefix_all_ones_seed(self):
+        # IEEE 802.11-2016: the all-ones seed generates the 127-bit
+        # sequence starting 0000 1110 1111 0010 ...
+        sequence = scrambler_sequence(16, seed=0x7F)
+        assert list(sequence) == [0, 0, 0, 0, 1, 1, 1, 0,
+                                  1, 1, 1, 1, 0, 0, 1, 0]
+
+    def test_period_127(self):
+        sequence = scrambler_sequence(254, seed=0x7F)
+        assert np.array_equal(sequence[:127], sequence[127:])
+
+    def test_full_period_balanced(self):
+        sequence = scrambler_sequence(127, seed=0x7F)
+        assert sequence.sum() == 64  # maximal-length LFSR property
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            scrambler_sequence(64, seed=0x7F), scrambler_sequence(64, seed=0x5D)
+        )
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            scrambler_sequence(8, seed=0)
+
+
+class TestScramble:
+    def test_self_inverse(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        assert np.array_equal(descramble(scramble(bits)), bits)
+
+    @given(st.lists(st.integers(0, 1), max_size=300),
+           st.integers(min_value=1, max_value=127))
+    def test_self_inverse_property(self, bits, seed):
+        array = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(descramble(scramble(array, seed), seed), array)
+
+
+class TestPilotPolarity:
+    def test_known_prefix(self):
+        # p_0..p_9 = 1 1 1 1 -1 -1 -1 1 -1 -1 (standard Eq. 17-25).
+        polarity = pilot_polarity_sequence()
+        assert list(polarity[:10]) == [1, 1, 1, 1, -1, -1, -1, 1, -1, -1]
+
+    def test_length_127(self):
+        assert pilot_polarity_sequence().size == 127
+
+    def test_values_plus_minus_one(self):
+        assert set(np.unique(pilot_polarity_sequence())) == {-1.0, 1.0}

@@ -1,0 +1,175 @@
+"""Tests for soft-decision demapping/Viterbi and OFDM synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import AwgnChannel
+from repro.errors import ConfigurationError, DecodingError, SynchronizationError
+from repro.utils.signal_ops import Waveform, frequency_shift
+from repro.wifi.convcode import conv_encode, encode_with_rate
+from repro.wifi.qam import modulation_for_name
+from repro.wifi.receiver import WifiReceiver
+from repro.wifi.softdemap import (
+    depuncture_soft,
+    soft_demodulate,
+    viterbi_decode_soft,
+)
+from repro.wifi.sync import WifiSynchronizer
+from repro.wifi.transmitter import WifiTransmitter
+
+
+class TestSoftDemap:
+    @pytest.mark.parametrize("name", ["bpsk", "qpsk", "16qam", "64qam"])
+    def test_llr_signs_match_hard_decisions(self, name):
+        modulation = modulation_for_name(name)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 30 * modulation.bits_per_symbol).astype(np.uint8)
+        points = modulation.modulate(bits)
+        llrs = soft_demodulate(points, modulation)
+        # Positive LLR means bit 0: sign must encode the transmitted bit.
+        hard_from_llr = (llrs < 0).astype(np.uint8)
+        assert np.array_equal(hard_from_llr, bits)
+
+    def test_magnitude_reflects_reliability(self):
+        modulation = modulation_for_name("qpsk")
+        clean = modulation.modulate(np.array([0, 0], dtype=np.uint8))
+        borderline = clean * 0.05  # nearly at the decision boundary
+        llr_clean = soft_demodulate(clean, modulation)
+        llr_borderline = soft_demodulate(borderline, modulation)
+        assert np.all(np.abs(llr_clean) > np.abs(llr_borderline))
+
+    def test_rejects_bad_noise_variance(self):
+        modulation = modulation_for_name("qpsk")
+        with pytest.raises(ConfigurationError):
+            soft_demodulate(np.ones(2, dtype=complex), modulation, noise_variance=0)
+
+
+class TestSoftViterbi:
+    def _frame(self, n=60, seed=1):
+        rng = np.random.default_rng(seed)
+        bits = np.concatenate(
+            [rng.integers(0, 2, n).astype(np.uint8), np.zeros(6, dtype=np.uint8)]
+        )
+        return bits
+
+    def test_clean_decode_from_hard_llrs(self):
+        bits = self._frame()
+        coded = conv_encode(bits)
+        llrs = 1.0 - 2.0 * coded.astype(np.float64)  # bit0 -> +1, bit1 -> -1
+        decoded = viterbi_decode_soft(llrs, bits.size)
+        assert np.array_equal(decoded, bits)
+
+    def test_weak_llrs_are_outvoted(self):
+        """A few near-zero (unreliable, wrong-sign) LLRs get corrected."""
+        bits = self._frame()
+        coded = conv_encode(bits)
+        llrs = 1.0 - 2.0 * coded.astype(np.float64)
+        llrs[[4, 20, 57]] *= -0.05  # wrong sign but tiny confidence
+        decoded = viterbi_decode_soft(llrs, bits.size)
+        assert np.array_equal(decoded, bits)
+
+    def test_soft_depuncture_inserts_zeros(self):
+        llrs = np.ones(4, dtype=np.float64)
+        full = depuncture_soft(llrs, (3, 4))
+        assert full.size == 6
+        assert np.count_nonzero(full == 0.0) == 2
+
+    def test_soft_beats_hard_at_low_snr(self):
+        """The canonical ~2 dB soft-decision gain, measured end to end."""
+        psdu = bytes(range(50))
+        frame = WifiTransmitter(54).transmit_psdu(psdu)
+        hard_ok = soft_ok = 0
+        for i in range(12):
+            noisy = AwgnChannel(16.5, rng=i, normalize=False).apply(frame.waveform)
+            hard = WifiReceiver(54).decode_psdu(noisy, len(psdu))
+            soft = WifiReceiver(54, soft_decision=True).decode_psdu(noisy, len(psdu))
+            hard_ok += hard.psdu == psdu
+            soft_ok += soft.psdu == psdu
+        assert soft_ok > hard_ok
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DecodingError):
+            viterbi_decode_soft(np.zeros(10), 6)
+
+
+class TestWifiSynchronizer:
+    @pytest.fixture(scope="class")
+    def frame(self):
+        return WifiTransmitter(54).transmit_psdu(bytes(range(40)))
+
+    def _padded(self, frame, lead=250):
+        samples = np.concatenate(
+            [np.zeros(lead, dtype=complex), frame.waveform.samples,
+             np.zeros(100, dtype=complex)]
+        )
+        return Waveform(samples, 20e6)
+
+    def test_exact_timing(self, frame):
+        sync = WifiSynchronizer().synchronize(self._padded(frame, lead=421))
+        assert sync.frame_start == 421
+        assert sync.metric > 0.9
+
+    def test_cfo_estimation(self, frame):
+        padded = self._padded(frame)
+        shifted = padded.with_samples(
+            frequency_shift(padded.samples, 55e3, 20e6)
+        )
+        sync = WifiSynchronizer().synchronize(shifted)
+        assert sync.cfo_hz == pytest.approx(55e3, rel=0.05)
+
+    def test_decode_after_sync_with_noise_and_cfo(self, frame):
+        padded = self._padded(frame, lead=137)
+        impaired = padded.with_samples(
+            frequency_shift(padded.samples, -30e3, 20e6)
+        )
+        noisy = AwgnChannel(22, rng=5, normalize=False).apply(impaired)
+        result = WifiReceiver(54).receive(noisy, psdu_bytes=40)
+        assert result.psdu == bytes(range(40))
+
+    def test_noise_only_raises(self):
+        rng = np.random.default_rng(0)
+        noise = 0.1 * (rng.standard_normal(4000) + 1j * rng.standard_normal(4000))
+        with pytest.raises(SynchronizationError):
+            WifiSynchronizer().synchronize(Waveform(noise, 20e6))
+
+    def test_rejects_wrong_rate(self, frame):
+        wrong = Waveform(frame.waveform.samples, 4e6)
+        with pytest.raises(ConfigurationError):
+            WifiSynchronizer().synchronize(wrong)
+
+
+class TestBlindReception:
+    def _padded(self, frame, lead=300):
+        samples = np.concatenate(
+            [np.zeros(lead, dtype=complex), frame.waveform.samples,
+             np.zeros(120, dtype=complex)]
+        )
+        return Waveform(samples, 20e6)
+
+    @pytest.mark.parametrize("rate", [6, 12, 24, 48, 54])
+    def test_receive_any_learns_rate_and_length(self, rate):
+        from repro.wifi.receiver import receive_any
+
+        psdu = bytes((3 * i + rate) % 256 for i in range(41))
+        frame = WifiTransmitter(rate_mbps=rate).transmit_psdu(psdu)
+        out = receive_any(self._padded(frame))
+        assert out.psdu == psdu
+
+    def test_signal_field_decode(self):
+        frame = WifiTransmitter(rate_mbps=36).transmit_psdu(bytes(77))
+        receiver = WifiReceiver(rate_mbps=6)
+        rate, length = receiver.decode_signal_field(frame.waveform)
+        assert (rate, length) == (36, 77)
+
+    def test_receive_any_with_noise_and_cfo(self):
+        from repro.wifi.receiver import receive_any
+
+        psdu = bytes(range(50))
+        frame = WifiTransmitter(rate_mbps=54).transmit_psdu(psdu)
+        padded = self._padded(frame, lead=199)
+        impaired = padded.with_samples(
+            frequency_shift(padded.samples, 25e3, 20e6)
+        )
+        noisy = AwgnChannel(24, rng=3, normalize=False).apply(impaired)
+        out = receive_any(noisy)
+        assert out.psdu == psdu

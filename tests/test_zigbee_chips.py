@@ -1,0 +1,70 @@
+"""Tests for the 802.15.4 chip table generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.zigbee.chips import chip_table, chips_for_symbol, min_pairwise_chip_distance
+from repro.zigbee.constants import CHIPS_PER_SYMBOL, NUM_SYMBOLS, SYMBOL0_CHIPS
+
+#: Rows of the published standard table (IEEE 802.15.4-2011, Table 73)
+#: used as independent ground truth for the generator.
+STANDARD_ROWS = {
+    0: "11011001110000110101001000101110",
+    1: "11101101100111000011010100100010",
+    2: "00101110110110011100001101010010",
+    5: "00110101001000101110110110011100",
+    7: "10011100001101010010001011101101",
+    8: "10001100100101100000011101111011",
+}
+
+
+class TestChipTable:
+    def test_shape_and_dtype(self):
+        table = chip_table()
+        assert table.shape == (NUM_SYMBOLS, CHIPS_PER_SYMBOL)
+        assert table.dtype == np.uint8
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            chip_table()[0, 0] = 1
+
+    @pytest.mark.parametrize("symbol,expected", sorted(STANDARD_ROWS.items()))
+    def test_matches_published_standard(self, symbol, expected):
+        row = "".join(str(c) for c in chips_for_symbol(symbol))
+        assert row == expected
+
+    def test_symbols_1_to_7_are_cyclic_shifts(self):
+        table = chip_table()
+        for symbol in range(1, 8):
+            assert np.array_equal(table[symbol], np.roll(table[0], 4 * symbol))
+
+    def test_symbols_8_to_15_are_conjugated_shifts(self):
+        table = chip_table()
+        conjugated = SYMBOL0_CHIPS.copy()
+        conjugated[1::2] ^= 1
+        for symbol in range(8, 16):
+            expected = np.roll(conjugated, 4 * (symbol - 8))
+            assert np.array_equal(table[symbol], expected)
+
+    def test_all_sequences_distinct(self):
+        table = chip_table()
+        rows = {tuple(row) for row in table}
+        assert len(rows) == NUM_SYMBOLS
+
+    def test_minimum_pairwise_distance(self):
+        # The standard table's minimum inter-sequence Hamming distance is
+        # 12, which bounds the DSSS error tolerance.
+        assert min_pairwise_chip_distance() == 12
+
+    def test_balanced_chips(self):
+        # Every PN sequence is approximately balanced (16 +/- 2 ones).
+        table = chip_table()
+        ones = table.sum(axis=1)
+        assert ones.min() >= 14 and ones.max() <= 18
+
+    def test_rejects_invalid_symbol(self):
+        with pytest.raises(ConfigurationError):
+            chips_for_symbol(16)
+        with pytest.raises(ConfigurationError):
+            chips_for_symbol(-1)

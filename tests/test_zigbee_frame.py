@@ -1,0 +1,111 @@
+"""Tests for PHY/MAC framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FramingError
+from repro.zigbee.constants import MAX_PSDU_BYTES, SFD_BYTE
+from repro.zigbee.frame import (
+    MacFrame,
+    PhyFrame,
+    bytes_to_symbols,
+    symbols_to_bytes,
+)
+
+
+class TestSymbolSerialization:
+    def test_low_nibble_first(self):
+        symbols = bytes_to_symbols(b"\xa7")
+        assert list(symbols) == [0x7, 0xA]
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip(self, data):
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+
+class TestPhyFrame:
+    def test_ppdu_layout(self):
+        frame = PhyFrame(psdu=b"\x11\x22")
+        ppdu = frame.to_bytes()
+        assert ppdu[:4] == bytes(4)
+        assert ppdu[4] == SFD_BYTE
+        assert ppdu[5] == 2
+        assert ppdu[6:] == b"\x11\x22"
+
+    def test_symbol_count(self):
+        frame = PhyFrame(psdu=b"\x11\x22\x33")
+        assert frame.to_symbols().size == 2 * (4 + 1 + 1 + 3)
+
+    def test_parse_roundtrip(self):
+        frame = PhyFrame(psdu=bytes(range(20)))
+        parsed = PhyFrame.from_symbols(frame.to_symbols())
+        assert parsed.psdu == frame.psdu
+
+    def test_parse_tolerates_trailing_symbols(self):
+        frame = PhyFrame(psdu=b"abc")
+        symbols = list(frame.to_symbols()) + [0, 0, 0, 0]
+        assert PhyFrame.from_symbols(symbols).psdu == b"abc"
+
+    def test_rejects_empty_psdu(self):
+        with pytest.raises(FramingError):
+            PhyFrame(psdu=b"")
+
+    def test_rejects_oversized_psdu(self):
+        with pytest.raises(FramingError):
+            PhyFrame(psdu=bytes(MAX_PSDU_BYTES + 1))
+
+    def test_parse_rejects_bad_sfd(self):
+        frame = PhyFrame(psdu=b"abc")
+        symbols = list(frame.to_symbols())
+        symbols[8] ^= 0xF  # corrupt first SFD nibble
+        with pytest.raises(FramingError):
+            PhyFrame.from_symbols(symbols)
+
+    def test_parse_rejects_truncated_psdu(self):
+        frame = PhyFrame(psdu=b"abcdef")
+        symbols = list(frame.to_symbols())[:-4]
+        with pytest.raises(FramingError):
+            PhyFrame.from_symbols(symbols)
+
+    def test_parse_rejects_bad_preamble(self):
+        frame = PhyFrame(psdu=b"abc")
+        symbols = list(frame.to_symbols())
+        symbols[0] = 5
+        with pytest.raises(FramingError):
+            PhyFrame.from_symbols(symbols)
+
+
+class TestMacFrame:
+    def test_roundtrip(self):
+        frame = MacFrame(payload=b"hello", sequence_number=9)
+        parsed = MacFrame.from_bytes(frame.to_bytes())
+        assert parsed == frame
+
+    def test_fcs_is_appended(self):
+        frame = MacFrame(payload=b"x")
+        assert len(frame.to_bytes()) == 9 + 1 + 2
+
+    def test_corruption_detected(self):
+        raw = bytearray(MacFrame(payload=b"hello").to_bytes())
+        raw[3] ^= 0xFF
+        with pytest.raises(FramingError):
+            MacFrame.from_bytes(bytes(raw))
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(FramingError):
+            MacFrame(payload=bytes(130)).to_bytes()
+
+    def test_rejects_bad_field(self):
+        with pytest.raises(FramingError):
+            MacFrame(payload=b"", sequence_number=256)
+
+    def test_rejects_short_frame(self):
+        with pytest.raises(FramingError):
+            MacFrame.from_bytes(b"\x00\x00")
+
+    @given(st.binary(min_size=0, max_size=100), st.integers(0, 255))
+    def test_roundtrip_property(self, payload, seq):
+        frame = MacFrame(payload=payload, sequence_number=seq)
+        assert MacFrame.from_bytes(frame.to_bytes()) == frame

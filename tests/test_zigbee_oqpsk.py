@@ -1,0 +1,151 @@
+"""Tests for half-sine pulses and the O-QPSK modem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.zigbee.halfsine import half_sine_pulse, pulse_energy, shape_rail
+from repro.zigbee.oqpsk import (
+    ChipSamples,
+    OqpskDemodulator,
+    OqpskModulator,
+    chips_to_constellation,
+)
+
+
+class TestHalfSine:
+    def test_pulse_length(self):
+        assert half_sine_pulse(2).size == 4
+        assert half_sine_pulse(8).size == 16
+
+    def test_pulse_symmetric(self):
+        pulse = half_sine_pulse(4)
+        assert np.allclose(pulse, pulse[::-1])
+
+    def test_pulse_peak_near_one(self):
+        assert half_sine_pulse(16).max() <= 1.0
+        assert half_sine_pulse(16).max() > 0.99
+
+    def test_energy_positive(self):
+        assert pulse_energy(2) > 0
+
+    def test_shape_rail_no_overlap(self):
+        shaped = shape_rail(np.array([1.0, -1.0]), 2)
+        pulse = half_sine_pulse(2)
+        assert np.allclose(shaped[:4], pulse)
+        assert np.allclose(shaped[4:], -pulse)
+
+    def test_rejects_bad_sps(self):
+        with pytest.raises(ConfigurationError):
+            half_sine_pulse(0)
+
+
+class TestModulator:
+    def test_output_length(self):
+        mod = OqpskModulator(2)
+        waveform = mod.modulate([0, 1] * 16)
+        assert waveform.size == 32 * 2 + 2
+
+    def test_sample_rate(self):
+        assert OqpskModulator(2).sample_rate_hz == 4e6
+        assert OqpskModulator(4).sample_rate_hz == 8e6
+
+    def test_constant_envelope_in_steady_state(self):
+        mod = OqpskModulator(2)
+        rng = np.random.default_rng(0)
+        waveform = mod.modulate(rng.integers(0, 2, 128))
+        envelope = np.abs(waveform[2:-2])
+        assert np.allclose(envelope, 1.0, atol=1e-12)
+
+    def test_rejects_odd_chip_count(self):
+        with pytest.raises(ConfigurationError):
+            OqpskModulator(2).modulate([0, 1, 0])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            OqpskModulator(2).modulate([0, 2])
+
+    def test_empty_input(self):
+        assert OqpskModulator(2).modulate([]).size == 0
+
+
+class TestDemodulator:
+    @pytest.mark.parametrize("sps", [2, 4, 8])
+    def test_noiseless_roundtrip(self, sps):
+        rng = np.random.default_rng(42)
+        chips = rng.integers(0, 2, 64)
+        waveform = OqpskModulator(sps).modulate(chips)
+        result = OqpskDemodulator(sps).demodulate(
+            waveform, 64, phase_tracking=False
+        )
+        assert np.array_equal(result.hard, chips)
+        assert np.allclose(np.abs(result.soft), 1.0, atol=1e-9)
+
+    def test_phase_tracking_follows_residual_cfo(self):
+        """A residual CFO that defeats the static demodulator is tracked."""
+        from repro.utils.signal_ops import frequency_shift
+
+        rng = np.random.default_rng(43)
+        chips = rng.integers(0, 2, 2048)
+        waveform = OqpskModulator(2).modulate(chips)
+        # 400 Hz residual at 4 Msps rotates ~150 degrees over 2048 chips,
+        # flipping late-packet decisions for a non-tracking demodulator.
+        drifted = frequency_shift(waveform, 400.0, 4e6)
+        demod = OqpskDemodulator(2)
+        with_tracking = demod.demodulate(drifted, 2048, phase_tracking=True)
+        without = demod.demodulate(drifted, 2048, phase_tracking=False)
+        errors_tracked = np.count_nonzero(with_tracking.hard != chips)
+        errors_static = np.count_nonzero(without.hard != chips)
+        assert errors_tracked == 0
+        assert errors_static > 20
+
+    def test_phase_tracking_jitter_is_small_on_clean_input(self):
+        rng = np.random.default_rng(44)
+        chips = rng.integers(0, 2, 256)
+        waveform = OqpskModulator(2).modulate(chips)
+        result = OqpskDemodulator(2).demodulate(waveform, 256)
+        assert np.array_equal(result.hard, chips)
+        assert np.allclose(np.abs(result.soft), 1.0, atol=0.05)
+
+    def test_soft_signs_match_chips(self):
+        chips = np.array([1, 0, 0, 1] * 8)
+        waveform = OqpskModulator(2).modulate(chips)
+        result = OqpskDemodulator(2).demodulate(waveform, 32)
+        assert np.array_equal(result.soft > 0, chips.astype(bool))
+
+    def test_capacity(self):
+        demod = OqpskDemodulator(2)
+        # 32 chips need 32*2 + 2 samples.
+        assert demod.capacity(66) == 32
+        assert demod.capacity(65) == 30
+        assert demod.capacity(0) == 0
+
+    def test_rejects_overdraw(self):
+        demod = OqpskDemodulator(2)
+        with pytest.raises(DecodingError):
+            demod.demodulate(np.zeros(10, dtype=complex), 32)
+
+    def test_rejects_odd_num_chips(self):
+        with pytest.raises(ConfigurationError):
+            OqpskDemodulator(2).demodulate(np.zeros(100, dtype=complex), 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=64).filter(
+        lambda chips: len(chips) % 2 == 0))
+    def test_roundtrip_property(self, chips):
+        waveform = OqpskModulator(2).modulate(chips)
+        result = OqpskDemodulator(2).demodulate(waveform, len(chips))
+        assert list(result.hard) == chips
+
+
+class TestConstellationPairing:
+    def test_pairs_alternating(self):
+        points = chips_to_constellation([1.0, -1.0, -1.0, 1.0])
+        assert points[0] == pytest.approx(1.0 - 1.0j)
+        assert points[1] == pytest.approx(-1.0 + 1.0j)
+
+    def test_rejects_odd_count(self):
+        with pytest.raises(ConfigurationError):
+            chips_to_constellation([1.0, -1.0, 1.0])

@@ -1,0 +1,100 @@
+"""Tests for the quadrature (frequency-discriminator) chip extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.utils.signal_ops import frequency_shift
+from repro.zigbee.msk import MskDespreader, msk_chip_table
+from repro.zigbee.oqpsk import OqpskModulator
+from repro.zigbee.quadrature import QuadratureDemodulator
+from repro.zigbee.spreading import spread_symbols
+
+
+def _freq_chips(chips, sps=2):
+    waveform = OqpskModulator(sps).modulate(chips)
+    demod = QuadratureDemodulator(sps)
+    count = min(len(chips), demod.capacity(waveform.size))
+    return demod.demodulate(waveform, count)
+
+
+class TestQuadratureDemodulator:
+    def test_clean_soft_values_are_unit(self):
+        rng = np.random.default_rng(3)
+        chips = rng.integers(0, 2, 200)
+        result = _freq_chips(chips)
+        # Interior chips (away from edges) must be exactly +/-1.
+        assert np.allclose(np.abs(result.soft[2:-2]), 1.0, atol=1e-9)
+
+    def test_differential_relation(self):
+        """b[n] = a[n] ^ a[n-1] ^ (n % 2) for the 2450 MHz O-QPSK PHY."""
+        rng = np.random.default_rng(5)
+        chips = rng.integers(0, 2, 300)
+        result = _freq_chips(chips)
+        for n in range(1, 298):
+            expected = chips[n] ^ chips[n - 1] ^ (n % 2)
+            assert result.hard[n] == expected
+
+    def test_phase_offset_invariance(self):
+        chips = np.tile([1, 0, 1, 1], 32)
+        waveform = OqpskModulator(2).modulate(chips)
+        rotated = waveform * np.exp(1j * 1.234)
+        demod = QuadratureDemodulator(2)
+        a = demod.demodulate(waveform, 100)
+        b = demod.demodulate(rotated, 100)
+        assert np.allclose(a.soft, b.soft, atol=1e-9)
+
+    def test_cfo_appears_as_bias(self):
+        chips = np.tile([1, 0], 64)
+        waveform = OqpskModulator(2).modulate(chips)
+        shifted = frequency_shift(waveform, 50e3, 4e6)
+        demod = QuadratureDemodulator(2)
+        clean = demod.demodulate(waveform, 120).soft
+        offset = demod.demodulate(shifted, 120).soft
+        bias = np.mean(offset - clean)
+        # 50 kHz CFO over the pi/4-per-sample normalization: bias = cfo/500kHz.
+        assert bias == pytest.approx(0.1, rel=0.05)
+
+    def test_capacity_and_overdraw(self):
+        demod = QuadratureDemodulator(2)
+        assert demod.capacity(1) == 0
+        assert demod.capacity(65) == 32
+        with pytest.raises(DecodingError):
+            demod.demodulate(np.zeros(8, dtype=complex), 32)
+
+    def test_rejects_single_sample_per_chip(self):
+        with pytest.raises(ConfigurationError):
+            QuadratureDemodulator(1)
+
+
+class TestMskDespreading:
+    def test_table_shape(self):
+        table = msk_chip_table()
+        assert table.shape == (16, 32)
+
+    def test_roundtrip_all_symbols(self):
+        """Frequency-sign chips of every symbol decode via the MSK table."""
+        symbols = list(range(16)) * 2
+        chips = spread_symbols(symbols)
+        result = _freq_chips(chips)
+        decisions = MskDespreader().despread(result.hard[: 32 * len(symbols)])
+        decoded = [d.symbol for d in decisions]
+        # The first chip of every block is masked; interior symbols decode
+        # exactly (distance 0), the very first may still be correct too.
+        assert decoded == symbols
+        assert all(d.hamming_distance == 0 for d in decisions[1:])
+
+    def test_threshold_drop(self):
+        chips = spread_symbols([4])
+        freq = _freq_chips(np.concatenate([chips, chips])).hard[:32].copy()
+        freq[1:16] ^= 1  # 15 errors in the usable window
+        decision = MskDespreader(correlation_threshold=5).despread_sequence(freq)
+        assert decision.symbol is None
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            MskDespreader(correlation_threshold=32)
+
+    def test_rejects_ragged_stream(self):
+        with pytest.raises(DecodingError):
+            MskDespreader().despread(np.zeros(40, dtype=np.uint8))

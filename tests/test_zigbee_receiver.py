@@ -1,0 +1,120 @@
+"""End-to-end tests for the ZigBee receiver."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import AwgnChannel
+from repro.errors import ConfigurationError
+from repro.utils.signal_ops import Waveform
+from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
+from repro.zigbee.transmitter import ZigBeeTransmitter
+
+
+def _padded(waveform, lead=120, tail=80):
+    samples = np.concatenate(
+        [np.zeros(lead, dtype=complex), waveform.samples,
+         np.zeros(tail, dtype=complex)]
+    )
+    return Waveform(samples, waveform.sample_rate_hz)
+
+
+@pytest.fixture(scope="module")
+def sent():
+    return ZigBeeTransmitter().transmit_payload(b"receiver-test", sequence_number=3)
+
+
+class TestNoiselessReception:
+    def test_decodes_payload(self, sent):
+        packet = ZigBeeReceiver().receive(_padded(sent.waveform))
+        assert packet.decoded and packet.fcs_ok
+        assert packet.mac_frame.payload == b"receiver-test"
+        assert packet.mac_frame.sequence_number == 3
+
+    def test_zero_hamming_distance(self, sent):
+        packet = ZigBeeReceiver().receive(_padded(sent.waveform))
+        assert max(packet.diagnostics.hamming_distances) == 0
+
+    def test_diagnostics_trimmed_to_frame(self, sent):
+        packet = ZigBeeReceiver().receive(_padded(sent.waveform, tail=2000))
+        assert len(packet.diagnostics.symbols) == sent.symbols.size
+        assert packet.diagnostics.soft_chips.size == sent.chips.size
+
+    def test_soft_chips_are_unit(self, sent):
+        # Phase tracking adds sub-percent jitter around the ideal +/-1.
+        packet = ZigBeeReceiver().receive(_padded(sent.waveform))
+        assert np.allclose(np.abs(packet.diagnostics.soft_chips), 1.0, atol=0.05)
+
+    def test_genie_start(self, sent):
+        packet = ZigBeeReceiver().receive(_padded(sent.waveform, lead=50),
+                                          known_start=50)
+        assert packet.decoded and packet.fcs_ok
+
+    def test_quadrature_decode_path(self, sent):
+        receiver = ZigBeeReceiver(ReceiverConfig(demodulation="quadrature"))
+        packet = receiver.receive(_padded(sent.waveform))
+        assert packet.decoded and packet.fcs_ok
+
+
+class TestNoisyReception:
+    @pytest.mark.parametrize("snr_db", [8, 12])
+    def test_decodes_under_awgn(self, sent, snr_db):
+        noisy = AwgnChannel(snr_db, rng=snr_db).apply(_padded(sent.waveform))
+        packet = ZigBeeReceiver().receive(noisy)
+        assert packet.decoded and packet.fcs_ok
+
+    def test_noise_floor_estimated_from_lead_in(self, sent):
+        noisy = AwgnChannel(10, rng=0).apply(_padded(sent.waveform, lead=200))
+        packet = ZigBeeReceiver().receive(noisy)
+        estimate = packet.diagnostics.noise_variance
+        assert estimate is not None
+        assert estimate == pytest.approx(0.1, rel=0.5)
+
+    def test_no_noise_estimate_without_lead_in(self, sent):
+        packet = ZigBeeReceiver().receive(sent.waveform, known_start=0)
+        assert packet.diagnostics.noise_variance is None
+
+
+class TestChannelization:
+    def test_filtered_20msps_roundtrip(self, sent):
+        air = _padded(sent.waveform).resampled_to(20e6)
+        packet = ZigBeeReceiver().receive(air)
+        assert packet.decoded and packet.fcs_ok
+
+    def test_naive_decimation_roundtrip(self, sent):
+        receiver = ZigBeeReceiver(ReceiverConfig(decimation="naive"))
+        air = _padded(sent.waveform).resampled_to(20e6)
+        packet = receiver.receive(air)
+        assert packet.decoded and packet.fcs_ok
+
+    def test_rejects_slower_input(self, sent):
+        receiver = ZigBeeReceiver()
+        slow = Waveform(sent.waveform.samples, 2e6)
+        with pytest.raises(ConfigurationError):
+            receiver.channelize(slow)
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_demodulation(self):
+        with pytest.raises(ConfigurationError):
+            ReceiverConfig(demodulation="magic")
+
+    def test_rejects_unknown_decimation(self):
+        with pytest.raises(ConfigurationError):
+            ReceiverConfig(decimation="skip")
+
+
+class TestCorruptedFrames:
+    def test_flipped_payload_fails_fcs(self, sent):
+        # Flip enough chips in one payload symbol to change the decoded
+        # symbol: find the symbol's chip span and invert 20 chips.
+        from repro.zigbee.oqpsk import OqpskModulator
+        chips = sent.chips.copy()
+        target = 20 * 32  # symbol 20 (inside the PSDU)
+        chips[target : target + 20] ^= 1
+        waveform = OqpskModulator(2).modulate(chips)
+        packet = ZigBeeReceiver().receive(
+            _padded(Waveform(waveform, 4e6))
+        )
+        # Either the symbol decodes to something wrong (FCS fails) or the
+        # despreader dropped it (no PSDU) — both count as non-delivery.
+        assert not packet.fcs_ok

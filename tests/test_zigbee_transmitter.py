@@ -1,0 +1,51 @@
+"""Tests for the ZigBee transmitter chain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FramingError
+from repro.zigbee.constants import CHIPS_PER_SYMBOL
+from repro.zigbee.frame import MacFrame
+from repro.zigbee.transmitter import ZigBeeTransmitter
+
+
+class TestTransmitter:
+    def test_sample_rate_default(self):
+        assert ZigBeeTransmitter().sample_rate_hz == 4e6
+
+    def test_symbol_chip_sample_accounting(self):
+        result = ZigBeeTransmitter().transmit_payload(b"abc")
+        assert result.chips.size == result.symbols.size * CHIPS_PER_SYMBOL
+        # 2 samples per chip plus the Q-rail tail.
+        assert len(result.waveform) == result.chips.size * 2 + 2
+
+    def test_ppdu_matches_symbols(self):
+        result = ZigBeeTransmitter().transmit_payload(b"abc")
+        from repro.zigbee.frame import bytes_to_symbols
+
+        assert np.array_equal(result.symbols, bytes_to_symbols(result.ppdu))
+
+    def test_unit_envelope(self):
+        result = ZigBeeTransmitter().transmit_payload(b"power-check")
+        envelope = np.abs(result.waveform.samples[4:-4])
+        assert np.allclose(envelope, 1.0, atol=1e-9)
+
+    def test_transmit_symbols_raw(self):
+        result = ZigBeeTransmitter().transmit_symbols([0, 15, 7])
+        assert result.symbols.size == 3
+        assert result.ppdu == b""
+
+    def test_sequence_number_propagates(self):
+        result = ZigBeeTransmitter().transmit_payload(b"x", sequence_number=99)
+        frame = MacFrame.from_bytes(result.ppdu[6:])
+        assert frame.sequence_number == 99
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(FramingError):
+            ZigBeeTransmitter().transmit_payload(bytes(130))
+
+    def test_higher_oversampling(self):
+        tx = ZigBeeTransmitter(samples_per_chip=4)
+        assert tx.sample_rate_hz == 8e6
+        result = tx.transmit_payload(b"hi")
+        assert len(result.waveform) == result.chips.size * 4 + 4

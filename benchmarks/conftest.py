@@ -3,11 +3,21 @@
 Every ``bench_<artifact>`` module regenerates one table or figure of the
 paper and prints it (so ``pytest benchmarks/ --benchmark-only`` doubles
 as the reproduction report), while pytest-benchmark times the run.
+
+Telemetry: each benchmark runs with spans enabled and its per-stage
+span tree is attached to pytest-benchmark's ``extra_info``, so saved
+``BENCH_*.json`` files carry a per-stage wall-clock breakdown alongside
+the end-to-end timing.  Set ``REPRO_BENCH_TELEMETRY=0`` to measure the
+pure no-op path (e.g. for overhead comparisons).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.telemetry import get_telemetry
 
 
 @pytest.fixture
@@ -20,3 +30,26 @@ def report(capsys):
             print(result.format_table())
 
     return _report
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry(request):
+    """Record spans per benchmark and attach them to the benchmark JSON."""
+    if os.environ.get("REPRO_BENCH_TELEMETRY", "1") == "0":
+        yield
+        return
+    telemetry = get_telemetry()
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        yield
+    finally:
+        telemetry.disable()
+        benchmark = request.node.funcargs.get("benchmark")
+        if benchmark is not None and hasattr(benchmark, "extra_info"):
+            snapshot = telemetry.snapshot()
+            benchmark.extra_info["telemetry_spans"] = snapshot["spans"]
+            benchmark.extra_info["telemetry_counters"] = (
+                snapshot["metrics"]["counters"]
+            )
+        telemetry.reset()

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import get_telemetry
 from repro.wifi.constants import NUM_DATA_SUBCARRIERS, RATES
 from repro.wifi.convcode import decode_with_rate, encode_with_rate
 from repro.wifi.interleaver import deinterleave, interleave
@@ -74,25 +75,33 @@ def project_onto_codewords(
     num_symbols = points.size // NUM_DATA_SUBCARRIERS
     ndbps = params.data_bits_per_symbol
 
-    coded = modulation.demodulate(points)
-    deinterleaved = deinterleave(
-        coded,
-        coded_bits_per_symbol=params.coded_bits_per_symbol,
-        bits_per_subcarrier=params.bits_per_subcarrier,
-    )
-    scrambled = decode_with_rate(
-        deinterleaved, params.coding_rate, num_symbols * ndbps
-    )
-    legal_coded = encode_with_rate(scrambled, params.coding_rate)
-    legal_interleaved = interleave(
-        legal_coded,
-        coded_bits_per_symbol=params.coded_bits_per_symbol,
-        bits_per_subcarrier=params.bits_per_subcarrier,
-    )
-    legal_points = modulation.modulate(legal_interleaved)
+    telemetry = get_telemetry()
+    with telemetry.span("attack.codeword_search"):
+        with telemetry.span("attack.codeword.demap"):
+            coded = modulation.demodulate(points)
+            deinterleaved = deinterleave(
+                coded,
+                coded_bits_per_symbol=params.coded_bits_per_symbol,
+                bits_per_subcarrier=params.bits_per_subcarrier,
+            )
+        with telemetry.span("attack.codeword.viterbi"):
+            scrambled = decode_with_rate(
+                deinterleaved, params.coding_rate, num_symbols * ndbps
+            )
+        with telemetry.span("attack.codeword.reencode"):
+            legal_coded = encode_with_rate(scrambled, params.coding_rate)
+            legal_interleaved = interleave(
+                legal_coded,
+                coded_bits_per_symbol=params.coded_bits_per_symbol,
+                bits_per_subcarrier=params.bits_per_subcarrier,
+            )
+            legal_points = modulation.modulate(legal_interleaved)
 
     agreement = float(np.mean(np.isclose(legal_points, points)))
     extra = float(np.sum(np.abs(legal_points - points) ** 2))
+    if telemetry.enabled:
+        telemetry.count("attack.codeword_projections")
+        telemetry.observe("attack.codeword_point_agreement", agreement)
     return CodewordProjection(
         legal_points=legal_points,
         psdu_bits=descramble(scrambled, seed=scrambler_seed),

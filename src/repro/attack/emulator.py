@@ -30,6 +30,7 @@ from repro.attack.selection import (
     select_subcarriers,
 )
 from repro.errors import ConfigurationError, EmulationError
+from repro.telemetry import get_telemetry
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.signal_ops import Waveform
 from repro.wifi.constants import CP_LENGTH, FFT_SIZE, SAMPLE_RATE_HZ, SYMBOL_LENGTH
@@ -108,35 +109,52 @@ class WaveformEmulationAttack:
     def emulate(self, observed: Waveform) -> EmulationResult:
         """Run the full pipeline of Fig. 4 on an observed ZigBee waveform."""
         config = self.config
-        interpolated = to_wifi_rate(observed, method=config.interpolation_method)
-        chunks = segment_into_wifi_symbols(interpolated)
-        spectra = spectrum_table(chunks)
-        selection = select_subcarriers(
-            spectra,
-            num_subcarriers=config.num_subcarriers,
-            coarse_threshold=config.coarse_threshold,
-        )
+        telemetry = get_telemetry()
+        with telemetry.span("attack.emulate"):
+            with telemetry.span("attack.interpolate"):
+                interpolated = to_wifi_rate(
+                    observed, method=config.interpolation_method
+                )
+            with telemetry.span("attack.segment_fft"):
+                chunks = segment_into_wifi_symbols(interpolated)
+                spectra = spectrum_table(chunks)
+            with telemetry.span("attack.select_subcarriers"):
+                selection = select_subcarriers(
+                    spectra,
+                    num_subcarriers=config.num_subcarriers,
+                    coarse_threshold=config.coarse_threshold,
+                )
 
-        chosen = spectra[:, selection.indexes]  # chunks x kept-subcarriers
-        quantization: Optional[QuantizationResult] = None
-        if config.quantize:
-            quantization = quantize_points(
-                chosen.reshape(-1), modulation=self._modulation, scale=config.scale
-            )
-            kept_values = quantization.quantized.reshape(chosen.shape)
-            unit_points = quantization.constellation_points.reshape(chosen.shape)
-        else:
-            kept_values = chosen
-            unit_points = chosen
+            chosen = spectra[:, selection.indexes]  # chunks x kept-subcarriers
+            quantization: Optional[QuantizationResult] = None
+            if config.quantize:
+                with telemetry.span("attack.quantize"):
+                    quantization = quantize_points(
+                        chosen.reshape(-1),
+                        modulation=self._modulation,
+                        scale=config.scale,
+                    )
+                kept_values = quantization.quantized.reshape(chosen.shape)
+                unit_points = quantization.constellation_points.reshape(
+                    chosen.shape
+                )
+            else:
+                kept_values = chosen
+                unit_points = chosen
 
-        if config.mode == "baseband":
-            emulated_chunks = self._build_baseband(selection.indexes, kept_values)
-        else:
-            scale = quantization.scale if quantization else 1.0
-            emulated_chunks = self._build_rf(selection.indexes, unit_points, scale)
+            with telemetry.span("attack.allocate_ifft"):
+                if config.mode == "baseband":
+                    emulated_chunks = self._build_baseband(
+                        selection.indexes, kept_values
+                    )
+                else:
+                    scale = quantization.scale if quantization else 1.0
+                    emulated_chunks = self._build_rf(
+                        selection.indexes, unit_points, scale
+                    )
 
         waveform = Waveform(emulated_chunks.reshape(-1), SAMPLE_RATE_HZ)
-        return EmulationResult(
+        result = EmulationResult(
             waveform=waveform,
             interpolated=interpolated,
             chunks=chunks,
@@ -145,6 +163,12 @@ class WaveformEmulationAttack:
             quantization=quantization,
             config=config,
         )
+        if telemetry.enabled:
+            telemetry.count("attack.emulations", mode=config.mode)
+            telemetry.observe("attack.emulation_error", result.emulation_error())
+            if quantization is not None:
+                telemetry.observe("attack.quantization_scale", quantization.scale)
+        return result
 
     def transmit_waveform(self, result: EmulationResult) -> Waveform:
         """The on-air waveform: leading zeros plus the emulated chunks."""

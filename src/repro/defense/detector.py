@@ -30,6 +30,7 @@ import numpy as np
 from repro.defense.constellation import ConstellationOptions, reconstruct_constellation
 from repro.defense.moments import CumulantEstimate, estimate_cumulants
 from repro.errors import ConfigurationError, DetectionError
+from repro.telemetry import get_telemetry
 
 #: Calibrated for this package's receiver per Sec. VII-B (the paper's
 #: 0.5 corresponds to its own hardware chain; see the module docstring).
@@ -106,15 +107,22 @@ class CumulantDetector:
     ) -> DetectionResult:
         """Compute D_E^2 from already-reconstructed constellation points."""
         variance = self.noise_variance if noise_variance is None else noise_variance
+        telemetry = get_telemetry()
         estimate = estimate_cumulants(points, noise_variance=variance)
-        feature = self.feature_vector(estimate)
-        target = np.array([1.0, -1.0])
-        distance_squared = float(np.sum((feature - target) ** 2))
-        hypothesis = (
-            Hypothesis.WIFI_ATTACKER
-            if distance_squared >= self.threshold
-            else Hypothesis.ZIGBEE_TRANSMITTER
-        )
+        with telemetry.span("defense.voronoi_test"):
+            feature = self.feature_vector(estimate)
+            target = np.array([1.0, -1.0])
+            distance_squared = float(np.sum((feature - target) ** 2))
+            hypothesis = (
+                Hypothesis.WIFI_ATTACKER
+                if distance_squared >= self.threshold
+                else Hypothesis.ZIGBEE_TRANSMITTER
+            )
+        if telemetry.enabled:
+            verdict = "emulated" if hypothesis is Hypothesis.WIFI_ATTACKER \
+                else "authentic"
+            telemetry.count("detector.decisions", verdict=verdict)
+            telemetry.observe("detector.distance_squared", distance_squared)
         return DetectionResult(
             hypothesis=hypothesis,
             distance_squared=distance_squared,
@@ -137,24 +145,28 @@ class CumulantDetector:
         from dataclasses import replace
 
         options = self.constellation_options
-        raw = reconstruct_constellation(
-            soft_chips, replace(options, normalize=False)
-        )
-        total_power = float(np.mean(np.abs(raw) ** 2))
-        if total_power <= 0:
-            raise ConfigurationError("constellation has no power")
-        points = raw / np.sqrt(total_power) if options.normalize else raw
+        with get_telemetry().span("defense.detect"):
+            with get_telemetry().span("defense.constellation"):
+                raw = reconstruct_constellation(
+                    soft_chips, replace(options, normalize=False)
+                )
+            total_power = float(np.mean(np.abs(raw) ** 2))
+            if total_power <= 0:
+                raise ConfigurationError("constellation has no power")
+            points = raw / np.sqrt(total_power) if options.normalize else raw
 
-        noise_variance: Optional[float] = None
-        if chip_noise_variance is not None:
-            if chip_noise_variance < 0:
-                raise ConfigurationError("chip_noise_variance must be >= 0")
-            # A constellation point is a unitary combination of two chips,
-            # so its noise power equals the per-chip noise power; rescale
-            # into the normalized domain.
-            noise_variance = chip_noise_variance / total_power
-            noise_variance = min(noise_variance, 0.9)  # guard degenerate input
-        return self.statistic_from_points(points, noise_variance=noise_variance)
+            noise_variance: Optional[float] = None
+            if chip_noise_variance is not None:
+                if chip_noise_variance < 0:
+                    raise ConfigurationError("chip_noise_variance must be >= 0")
+                # A constellation point is a unitary combination of two chips,
+                # so its noise power equals the per-chip noise power; rescale
+                # into the normalized domain.
+                noise_variance = chip_noise_variance / total_power
+                noise_variance = min(noise_variance, 0.9)  # guard degenerate
+            return self.statistic_from_points(
+                points, noise_variance=noise_variance
+            )
 
     def classify(self, soft_chips: np.ndarray) -> Hypothesis:
         """Convenience wrapper returning only the hypothesis."""

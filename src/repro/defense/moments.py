@@ -19,6 +19,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -77,17 +78,18 @@ def estimate_cumulants(
     if noise_variance < 0:
         raise ConfigurationError("noise_variance must be non-negative")
 
-    d = array
-    c20 = complex(np.mean(d**2))
-    c21 = float(np.mean(np.abs(d) ** 2))
+    with get_telemetry().span("defense.cumulants"):
+        d = array
+        c20 = complex(np.mean(d**2))
+        c21 = float(np.mean(np.abs(d) ** 2))
 
-    m40 = complex(np.mean(d**4))
-    m41 = complex(np.mean(d**3 * np.conj(d)))
-    m42 = float(np.mean(np.abs(d) ** 4))
+        m40 = complex(np.mean(d**4))
+        m41 = complex(np.mean(d**3 * np.conj(d)))
+        m42 = float(np.mean(np.abs(d) ** 4))
 
-    c40 = m40 - 3.0 * c20**2
-    c41 = m41 - 3.0 * c20 * c21
-    c42 = m42 - abs(c20) ** 2 - 2.0 * c21**2
+        c40 = m40 - 3.0 * c20**2
+        c41 = m41 - 3.0 * c20 * c21
+        c42 = m42 - abs(c20) ** 2 - 2.0 * c21**2
 
     corrected_c21 = c21 - noise_variance
     if corrected_c21 <= 0:

@@ -20,6 +20,7 @@ from repro.attack.emulator import (
 )
 from repro.channel.awgn import AwgnChannel
 from repro.errors import ConfigurationError, SynchronizationError
+from repro.telemetry import get_telemetry
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.signal_ops import Waveform
 from repro.zigbee.receiver import ReceivedPacket, ReceiverConfig, ZigBeeReceiver
@@ -37,6 +38,9 @@ class ExperimentResult:
         rows: list of row dicts keyed by column name.
         series: optional named numeric series (figure data).
         notes: free-form remarks (substitutions, calibrated values).
+        manifest: run manifest (seed, config, versions, host, timing
+            tree) attached by the CLI/benchmark harness; ``None`` when
+            the runner was called directly without provenance tracking.
     """
 
     experiment_id: str
@@ -45,6 +49,23 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     series: Dict[str, np.ndarray] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    manifest: Optional[Dict[str, Any]] = None
+
+    def attach_manifest(
+        self,
+        seed: Optional[int] = None,
+        config: Optional[Dict[str, Any]] = None,
+        span_tree: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Build and attach a run manifest; returns it for convenience."""
+        from repro.telemetry import build_manifest
+
+        merged = {"experiment_id": self.experiment_id}
+        merged.update(config or {})
+        self.manifest = build_manifest(
+            seed=seed, config=merged, span_tree=span_tree
+        )
+        return self.manifest
 
     def add_row(self, **values: Any) -> None:
         """Append one table row; keys must match ``columns``."""
@@ -138,9 +159,10 @@ def prepare_emulated(
     rng: RngLike = None,
 ) -> PreparedLink:
     """Emulated waveform ready for repeated noisy transmission."""
-    sent = build_observed_waveform(payload)
-    attack = WaveformEmulationAttack(config=config, rng=rng)
-    emulation = attack.emulate(sent.waveform)
+    with get_telemetry().span("experiment.prepare_emulated"):
+        sent = build_observed_waveform(payload)
+        attack = WaveformEmulationAttack(config=config, rng=rng)
+        emulation = attack.emulate(sent.waveform)
     return PreparedLink(
         sent=sent,
         on_air=_with_lead_in(attack.transmit_waveform(emulation)),
@@ -155,13 +177,17 @@ def transmit_once(
     rng: RngLike = None,
 ) -> Optional[ReceivedPacket]:
     """One noisy transmission of a prepared waveform; None = sync lost."""
-    waveform = prepared.on_air
-    if snr_db is not None:
-        waveform = AwgnChannel(snr_db=snr_db, rng=rng).apply(waveform)
-    try:
-        return receiver.receive(waveform)
-    except SynchronizationError:
-        return None
+    telemetry = get_telemetry()
+    with telemetry.span("experiment.transmit_once"):
+        waveform = prepared.on_air
+        if snr_db is not None:
+            with telemetry.span("channel.awgn"):
+                waveform = AwgnChannel(snr_db=snr_db, rng=rng).apply(waveform)
+        try:
+            return receiver.receive(waveform)
+        except SynchronizationError:
+            telemetry.count("experiment.sync_lost")
+            return None
 
 
 def packet_delivered(prepared: PreparedLink, packet: Optional[ReceivedPacket]) -> bool:

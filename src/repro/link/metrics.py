@@ -13,7 +13,11 @@ from repro.errors import ConfigurationError
 def symbol_errors(
     truth: Sequence[int], decoded: Sequence[Optional[int]]
 ) -> int:
-    """Count mismatches; missing (``None``) decodes count as errors."""
+    """Count mismatches; missing (``None``) decodes count as errors.
+
+    Spurious decodes — non-``None`` symbols beyond ``len(truth)``, e.g.
+    garbage decoded from padding after the frame — also count as errors.
+    """
     truth_list = list(truth)
     decoded_list = list(decoded)
     errors = 0
@@ -21,6 +25,9 @@ def symbol_errors(
         got = decoded_list[i] if i < len(decoded_list) else None
         if got is None or got != expected:
             errors += 1
+    errors += sum(
+        1 for extra in decoded_list[len(truth_list):] if extra is not None
+    )
     return errors
 
 

@@ -24,6 +24,7 @@ from repro.channel.base import Channel, IdentityChannel
 from repro.errors import SynchronizationError
 from repro.hardware.frontend import FrontEnd
 from repro.link.metrics import symbol_errors
+from repro.telemetry import get_telemetry
 from repro.utils.signal_ops import Waveform
 from repro.zigbee.frame import MacFrame
 from repro.zigbee.receiver import HEADER_SYMBOLS, ReceivedPacket, ZigBeeReceiver
@@ -103,7 +104,18 @@ class ZigBeeDirectLink:
             packet = self.receiver.receive(waveform, known_start=known_start)
         except SynchronizationError:
             packet = None
-        return TransmissionOutcome(sent=sent, packet=packet)
+        outcome = TransmissionOutcome(sent=sent, packet=packet)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("link.packets_sent")
+            if packet is None:
+                telemetry.count("link.packets_dropped")
+            elif outcome.delivered:
+                telemetry.count("link.packets_delivered")
+            telemetry.observe(
+                "link.psdu_symbol_errors", outcome.psdu_symbol_errors
+            )
+        return outcome
 
     def send(
         self,
@@ -113,11 +125,14 @@ class ZigBeeDirectLink:
         known_start: Optional[int] = None,
     ) -> TransmissionOutcome:
         """Transmit one MAC data frame through ``channel``."""
-        sent = self.transmitter.transmit_payload(
-            payload, sequence_number=sequence_number
-        )
-        waveform = self._propagate(sent.waveform, channel or IdentityChannel())
-        return self._receive(sent, waveform, known_start)
+        with get_telemetry().span("link.send"):
+            sent = self.transmitter.transmit_payload(
+                payload, sequence_number=sequence_number
+            )
+            waveform = self._propagate(
+                sent.waveform, channel or IdentityChannel()
+            )
+            return self._receive(sent, waveform, known_start)
 
     def send_frame(
         self,
@@ -158,12 +173,13 @@ class EmulationAttackLink(ZigBeeDirectLink):
         known_start: Optional[int] = None,
     ) -> TransmissionOutcome:
         """Emulate the observed frame and replay it through ``channel``."""
-        sent = self.transmitter.transmit_payload(
-            payload, sequence_number=sequence_number
-        )
-        emulation = self.attack.emulate(sent.waveform)
-        on_air = self.attack.transmit_waveform(emulation)
-        waveform = self._propagate(on_air, channel or IdentityChannel())
-        outcome = self._receive(sent, waveform, known_start)
+        with get_telemetry().span("link.send"):
+            sent = self.transmitter.transmit_payload(
+                payload, sequence_number=sequence_number
+            )
+            emulation = self.attack.emulate(sent.waveform)
+            on_air = self.attack.transmit_waveform(emulation)
+            waveform = self._propagate(on_air, channel or IdentityChannel())
+            outcome = self._receive(sent, waveform, known_start)
         outcome.emulation = emulation
         return outcome

@@ -1,0 +1,72 @@
+"""Observability for the attack/defense pipeline: spans, metrics, manifests.
+
+Three pillars:
+
+* **tracing** — ``get_telemetry().span("attack.quantize")`` context
+  managers (and the :func:`traced` decorator) record a nested wall-clock
+  timing tree with call counts;
+* **metrics** — counters, gauges, and streaming histograms such as
+  ``detector.decisions{verdict=emulated}`` or ``zigbee.chip_errors``,
+  with JSON/CSV export;
+* **run manifests** — seed, config, package version, and host identity
+  persisted next to every saved result.
+
+Disabled by default with a no-op fast path, so the instrumentation in
+``repro.attack`` / ``repro.defense`` / ``repro.zigbee`` / ``repro.link``
+costs nothing unless switched on::
+
+    from repro.telemetry import get_telemetry
+
+    telemetry = get_telemetry()
+    telemetry.enable()
+    ...  # run the pipeline
+    print(telemetry.snapshot())          # span tree + metrics
+
+or from the CLI: ``repro-experiments run table2 --telemetry
+--telemetry-out t.json`` then ``repro-experiments report t.json``.
+"""
+
+from repro.telemetry.core import SpanNode, Telemetry, get_telemetry, traced
+from repro.telemetry.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    host_info,
+    read_manifest,
+    write_manifest,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    metric_key,
+)
+from repro.telemetry.report import (
+    format_metrics,
+    format_span_tree,
+    is_telemetry_payload,
+    load_telemetry,
+    render_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_VERSION",
+    "MetricRegistry",
+    "SpanNode",
+    "Telemetry",
+    "build_manifest",
+    "format_metrics",
+    "format_span_tree",
+    "get_telemetry",
+    "host_info",
+    "is_telemetry_payload",
+    "load_telemetry",
+    "metric_key",
+    "read_manifest",
+    "render_telemetry",
+    "traced",
+    "write_manifest",
+]

@@ -1,0 +1,92 @@
+"""Run manifests: who/what/where/how-long of one experiment run.
+
+A manifest makes a saved result self-describing — the seed and config
+that produced it, the package and interpreter versions, the host it ran
+on, and (when telemetry was enabled) the per-stage timing tree.  Every
+``repro-experiments run --save`` writes one next to the CSV/NPZ output,
+and the telemetry JSON embeds one under ``"manifest"``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import socket
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+#: Schema version of the manifest / telemetry file format.
+MANIFEST_VERSION = 1
+
+
+def host_info() -> Dict[str, str]:
+    """Interpreter, library, and machine identity of the current run."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "hostname": socket.gethostname(),
+    }
+
+
+def build_manifest(
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, Any]] = None,
+    span_tree: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one run manifest.
+
+    Args:
+        seed: RNG seed the run used.
+        config: free-form run configuration (experiment id, trials, ...).
+        span_tree: telemetry span tree (``Telemetry.span_tree()``).
+        extra: additional keys merged into the top level.
+    """
+    from repro import __version__
+
+    manifest: Dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "package": "repro",
+        "package_version": __version__,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "host": host_info(),
+        "seed": seed,
+        "config": dict(config or {}),
+    }
+    if span_tree is not None:
+        manifest["span_tree"] = span_tree
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: PathLike, manifest: Dict[str, Any]) -> None:
+    """Write a manifest as indented JSON."""
+    with open(str(path), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def read_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read a manifest back; raises on missing or foreign files."""
+    target = Path(str(path))
+    if not target.exists():
+        raise ConfigurationError(f"no such manifest: {path}")
+    with open(str(target)) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "manifest_version" not in data:
+        raise ConfigurationError(f"{path} is not a run manifest")
+    return data

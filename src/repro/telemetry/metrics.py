@@ -1,0 +1,203 @@
+"""Counters, gauges, and streaming histograms with JSON/CSV export.
+
+The registry keys every instrument by ``name{label=value,...}`` — e.g.
+``detector.decisions{verdict=emulated}`` — so per-dimension counts come
+for free.  Histograms keep a bounded reservoir (Vitter's algorithm R
+with a fixed-seed generator, so runs stay reproducible) plus exact
+count/sum/min/max, and report p50/p95/p99 on demand.
+
+Everything here is stdlib-only so the no-op fast path costs nothing to
+import.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default reservoir capacity of a streaming histogram.
+DEFAULT_RESERVOIR_SIZE = 4096
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Canonical registry key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not name:
+        raise ConfigurationError("metric name must be non-empty")
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.value = 0.0
+
+    def increment(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instantaneous measurement."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A streaming value distribution with bounded memory.
+
+    Count, sum, min, and max are exact; percentiles are computed from a
+    uniform reservoir sample of at most ``reservoir_size`` values, which
+    is exact until the reservoir overflows.
+    """
+
+    __slots__ = ("key", "count", "total", "minimum", "maximum",
+                 "_reservoir", "_capacity", "_rng")
+
+    def __init__(self, key: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+        if reservoir_size < 1:
+            raise ConfigurationError("reservoir_size must be positive")
+        self.key = key
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._capacity = reservoir_size
+        self._rng = random.Random(0x5EED)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of every observation (exact)."""
+        if self.count == 0:
+            raise ConfigurationError("histogram is empty")
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100), linearly interpolated."""
+        if not 0 <= q <= 100:
+            raise ConfigurationError("percentile must be in [0, 100]")
+        if not self._reservoir:
+            raise ConfigurationError("histogram is empty")
+        ordered = sorted(self._reservoir)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100.0) * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/max/mean plus p50/p95/p99 as one dict."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricRegistry:
+    """Owns every instrument, keyed by :func:`metric_key`."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def reset(self) -> None:
+        """Forget every instrument."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter ``name{labels}``, created on first use."""
+        key = metric_key(name, labels)
+        instrument = self.counters.get(key)
+        if instrument is None:
+            instrument = self.counters[key] = Counter(key)
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge ``name{labels}``, created on first use."""
+        key = metric_key(name, labels)
+        instrument = self.gauges.get(key)
+        if instrument is None:
+            instrument = self.gauges[key] = Gauge(key)
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram ``name{labels}``, created on first use."""
+        key = metric_key(name, labels)
+        instrument = self.histograms.get(key)
+        if instrument is None:
+            instrument = self.histograms[key] = Histogram(key)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metric state as one JSON-serializable dict."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def to_csv(self) -> str:
+        """Flat CSV export: ``kind,key,field,value`` rows."""
+        rows: List[Tuple[str, str, str, float]] = []
+        for key, counter in sorted(self.counters.items()):
+            rows.append(("counter", key, "value", counter.value))
+        for key, gauge in sorted(self.gauges.items()):
+            rows.append(("gauge", key, "value", gauge.value))
+        for key, histogram in sorted(self.histograms.items()):
+            for field, value in histogram.summary().items():
+                rows.append(("histogram", key, field, value))
+        lines = ["kind,key,field,value"]
+        for kind, key, field, value in rows:
+            quoted = f'"{key}"' if "," in key else key
+            lines.append(f"{kind},{quoted},{field},{value:g}")
+        return "\n".join(lines) + "\n"

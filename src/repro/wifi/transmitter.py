@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import get_telemetry
 from repro.utils.bitops import bytes_to_bits
 from repro.utils.signal_ops import Waveform
 from repro.wifi.constants import (
@@ -94,20 +95,21 @@ class WifiTransmitter:
         """Run the full chain of Fig. 2 on a PSDU."""
         if len(psdu) == 0:
             raise ConfigurationError("PSDU must not be empty")
-        bits = self.build_data_bits(psdu)
-        scrambled = scramble(bits, seed=self.scrambler_seed)
-        # The six tail bits must remain zero so the Viterbi decoder
-        # terminates; the standard resets them after scrambling.
-        tail_start = SERVICE_BITS + 8 * len(psdu)
-        scrambled[tail_start : tail_start + TAIL_BITS] = 0
-        coded = encode_with_rate(scrambled, self.params.coding_rate)
-        interleaved = interleave(
-            coded,
-            coded_bits_per_symbol=self.params.coded_bits_per_symbol,
-            bits_per_subcarrier=self.params.bits_per_subcarrier,
-        )
-        points = self._modulation.modulate(interleaved)
-        return self._finalize(points, scrambled, coded, psdu_len=len(psdu))
+        with get_telemetry().span("wifi.transmit_psdu"):
+            bits = self.build_data_bits(psdu)
+            scrambled = scramble(bits, seed=self.scrambler_seed)
+            # The six tail bits must remain zero so the Viterbi decoder
+            # terminates; the standard resets them after scrambling.
+            tail_start = SERVICE_BITS + 8 * len(psdu)
+            scrambled[tail_start : tail_start + TAIL_BITS] = 0
+            coded = encode_with_rate(scrambled, self.params.coding_rate)
+            interleaved = interleave(
+                coded,
+                coded_bits_per_symbol=self.params.coded_bits_per_symbol,
+                bits_per_subcarrier=self.params.bits_per_subcarrier,
+            )
+            points = self._modulation.modulate(interleaved)
+            return self._finalize(points, scrambled, coded, psdu_len=len(psdu))
 
     def transmit_data_points(
         self, data_points: np.ndarray, include_pilots: bool = True
@@ -140,9 +142,16 @@ class WifiTransmitter:
         psdu_len: Optional[int],
         include_pilots: bool = True,
     ) -> WifiTransmitResult:
-        data_waveform = assemble_symbols(
-            points, first_symbol_index=1, include_pilots=include_pilots
-        )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("wifi.frames")
+            telemetry.count(
+                "wifi.symbols", points.size // NUM_DATA_SUBCARRIERS
+            )
+        with telemetry.span("wifi.assemble_symbols"):
+            data_waveform = assemble_symbols(
+                points, first_symbol_index=1, include_pilots=include_pilots
+            )
         if self.include_preamble:
             length_field = psdu_len if psdu_len is not None else max(
                 points.size // NUM_DATA_SUBCARRIERS, 1

@@ -22,6 +22,7 @@ from repro.errors import (
     FramingError,
     SynchronizationError,
 )
+from repro.telemetry import get_telemetry
 from repro.utils.signal_ops import Waveform, lowpass_filter, polyphase_resample
 from repro.zigbee.constants import (
     CHIPS_PER_SYMBOL,
@@ -199,14 +200,18 @@ class ZigBeeReceiver:
             known_start: genie timing — skip packet detection and use this
                 sample index (at the native rate) as the frame start.
         """
-        baseband = self.channelize(waveform)
-        if known_start is not None:
-            sync = SyncResult(
-                start_index=known_start, phase_rad=0.0, cfo_hz=0.0, correlation=1.0
-            )
-        else:
-            sync = self._synchronizer.synchronize(baseband)
-        aligned = apply_corrections(baseband, sync, self.sample_rate_hz)
+        telemetry = get_telemetry()
+        with telemetry.span("zigbee.channelize"):
+            baseband = self.channelize(waveform)
+        with telemetry.span("zigbee.sync"):
+            if known_start is not None:
+                sync = SyncResult(
+                    start_index=known_start, phase_rad=0.0, cfo_hz=0.0,
+                    correlation=1.0,
+                )
+            else:
+                sync = self._synchronizer.synchronize(baseband)
+            aligned = apply_corrections(baseband, sync, self.sample_rate_hz)
 
         capacity = self._demodulator.capacity(aligned.size)
         available = (capacity // CHIPS_PER_SYMBOL) * CHIPS_PER_SYMBOL
@@ -215,16 +220,20 @@ class ZigBeeReceiver:
             raise DecodingError(
                 f"requested {target} chips but only {available} are available"
             )
-        chip_samples = self._demodulator.demodulate(
-            aligned, target, phase_tracking=self.config.phase_tracking
-        )
-        quad_target = min(target, self._quadrature.capacity(aligned.size))
-        quadrature = self._quadrature.demodulate(aligned, quad_target)
-        if self.config.demodulation == "quadrature":
-            whole = (quad_target // CHIPS_PER_SYMBOL) * CHIPS_PER_SYMBOL
-            decisions = self._msk_despreader.despread(quadrature.hard[:whole])
-        else:
-            decisions = self._despreader.despread(chip_samples.hard)
+        with telemetry.span("zigbee.demodulate"):
+            chip_samples = self._demodulator.demodulate(
+                aligned, target, phase_tracking=self.config.phase_tracking
+            )
+            quad_target = min(target, self._quadrature.capacity(aligned.size))
+            quadrature = self._quadrature.demodulate(aligned, quad_target)
+        with telemetry.span("zigbee.despread"):
+            if self.config.demodulation == "quadrature":
+                whole = (quad_target // CHIPS_PER_SYMBOL) * CHIPS_PER_SYMBOL
+                decisions = self._msk_despreader.despread(
+                    quadrature.hard[:whole]
+                )
+            else:
+                decisions = self._despreader.despread(chip_samples.hard)
         return ReceiveDiagnostics(
             sync=sync,
             soft_chips=chip_samples.soft,
@@ -255,6 +264,26 @@ class ZigBeeReceiver:
         self, waveform: Waveform, known_start: Optional[int] = None
     ) -> ReceivedPacket:
         """Full packet reception: sync, demodulate, despread, parse, FCS."""
+        telemetry = get_telemetry()
+        try:
+            with telemetry.span("zigbee.receive"):
+                packet = self._receive_packet(waveform, known_start)
+        except SynchronizationError:
+            telemetry.count("zigbee.packets", outcome="sync_lost")
+            raise
+        if telemetry.enabled:
+            outcome = ("fcs_ok" if packet.fcs_ok
+                       else "decoded" if packet.decoded else "undecoded")
+            telemetry.count("zigbee.packets", outcome=outcome)
+            telemetry.count(
+                "zigbee.chip_errors",
+                float(sum(packet.diagnostics.hamming_distances)),
+            )
+        return packet
+
+    def _receive_packet(
+        self, waveform: Waveform, known_start: Optional[int]
+    ) -> ReceivedPacket:
         diagnostics = self.demodulate_chips(waveform, known_start=known_start)
         symbols = diagnostics.symbols
         if len(symbols) < HEADER_SYMBOLS:

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.hardware",
     "repro.link",
+    "repro.telemetry",
     "repro.utils",
     "repro.wifi",
     "repro.zigbee",

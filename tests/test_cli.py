@@ -44,3 +44,54 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_json_flag_prints_machine_readable_rows(self, capsys):
+        import json
+
+        assert main(["run", "table3", "--trials", "2000", "--seed", "1",
+                     "--json"]) == 0
+        out = capsys.readouterr().out.strip()
+        payload = json.loads(out)
+        assert payload["experiment_id"] == "table3"
+        assert "modulation" in payload["columns"]
+        assert any(row["modulation"] == "QPSK" for row in payload["rows"])
+
+    def test_save_writes_manifest(self, tmp_path, capsys):
+        from repro.telemetry import read_manifest
+
+        directory = str(tmp_path / "results")
+        assert main(["run", "table1", "--seed", "5", "--save", directory]) == 0
+        manifest = read_manifest(tmp_path / "results" / "table1.manifest.json")
+        assert manifest["seed"] == 5
+        assert manifest["config"]["experiment_id"] == "table1"
+        assert "package_version" in manifest
+
+    def test_telemetry_out_and_report_round_trip(self, tmp_path, capsys):
+        import json
+
+        out_file = str(tmp_path / "t.json")
+        assert main(["run", "table1", "--seed", "2", "--telemetry",
+                     "--telemetry-out", out_file]) == 0
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "t.json").read_text())
+        assert "spans" in payload and "metrics" in payload
+        assert payload["manifest"]["seed"] == 2
+        names = [c["name"] for c in payload["spans"]["children"]]
+        assert "experiment.table1" in names
+
+        assert main(["report", out_file]) == 0
+        rendered = capsys.readouterr().out
+        assert "experiment.table1" in rendered
+        assert "seed: 2" in rendered
+
+    def test_telemetry_without_out_prints_summary(self, capsys):
+        assert main(["run", "table1", "--seed", "1", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.table1" in out
+        assert "stage wall-clock" in out
+
+    def test_telemetry_disabled_after_run(self):
+        from repro.telemetry import get_telemetry
+
+        assert main(["run", "table1", "--seed", "1", "--telemetry"]) == 0
+        assert not get_telemetry().enabled

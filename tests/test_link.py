@@ -39,6 +39,16 @@ class TestMetrics:
     def test_short_decode_counts_missing(self):
         assert symbol_errors([1, 2, 3], [1]) == 2
 
+    def test_extra_decoded_symbols_count_as_errors(self):
+        # Spurious decodes beyond the truth length are errors, not noise.
+        assert symbol_errors([1, 2], [1, 2, 9]) == 1
+        assert symbol_errors([1, 2], [1, 2, 9, 7]) == 2
+        assert symbol_errors([1, 2], [1, 0, 9]) == 2
+
+    def test_extra_none_entries_are_not_errors(self):
+        # A trailing None is an absent decode, not a spurious symbol.
+        assert symbol_errors([1, 2], [1, 2, None]) == 0
+
     def test_accumulator_rates(self):
         acc = ErrorRateAccumulator()
         acc.record([1, 2, 3, 4], [1, 2, 3, 4], packet_ok=True)

@@ -65,16 +65,25 @@ class RealEnvironment:
         """Mean received SNR at a distance (before fading)."""
         return self.budget.snr_db(distance_m, rng=self._rng)
 
-    def channel_at(self, distance_m: float, extra_loss_db: float = 0.0) -> Channel:
+    def channel_at(
+        self,
+        distance_m: float,
+        extra_loss_db: float = 0.0,
+        rng: RngLike = None,
+    ) -> Channel:
         """A per-packet channel realization for one transmission.
 
         Args:
             distance_m: transmitter-receiver separation.
             extra_loss_db: additional SNR penalty, e.g. a receiver's
                 implementation loss.
+            rng: draw this realization from a dedicated stream instead of
+                the environment's own generator — required when trials
+                run in parallel, where each trial owns a spawned stream
+                and the environment object is shared read-only.
         """
         fading_rng, cfo_rng, phase_rng, noise_rng, shadow_rng = spawn_rngs(
-            self._rng, 5
+            self._rng if rng is None else rng, 5
         )
         stages = []
         if self.k_factor_db is not None:

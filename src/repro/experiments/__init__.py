@@ -1,5 +1,6 @@
 """Per-table/figure experiment harness (see DESIGN.md section 4)."""
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.engine import EngineSession, MonteCarloEngine
 
-__all__ = ["ExperimentResult"]
+__all__ = ["EngineSession", "ExperimentResult", "MonteCarloEngine"]

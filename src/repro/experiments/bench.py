@@ -1,0 +1,88 @@
+"""Engine throughput baseline: measure, compare to serial, persist.
+
+``write_engine_baseline`` runs one engine-backed experiment twice — the
+in-process sequential executor, then the worker pool — verifies the rows
+are identical (the engine's determinism contract), and writes a JSON
+baseline with trials/sec and speedup so future PRs have a performance
+trajectory to regress against::
+
+    repro-experiments bench-engine --trials 200 --workers 4
+
+The baseline intentionally records the host's CPU count: a speedup close
+to 1.0 on a single-core container is expected, not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.experiments.registry import get_experiment
+
+#: Default output file, committed at the repository root.
+DEFAULT_BASELINE_PATH = "BENCH_engine.json"
+
+
+def _timed_run(entry, **kwargs) -> Dict[str, Any]:
+    started = time.perf_counter()
+    result = entry.run(**kwargs)
+    elapsed = time.perf_counter() - started
+    return {"result": result, "seconds": elapsed}
+
+
+def measure_engine_throughput(
+    experiment_id: str = "table2",
+    trials: int = 200,
+    workers: int = 4,
+    chunk_size: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Serial-vs-parallel wall clock for one engine-backed experiment."""
+    entry = get_experiment(experiment_id)
+    common = {"rng": seed, "trials": trials}
+    serial = _timed_run(entry, **common)
+    parallel = _timed_run(
+        entry, workers=workers, chunk_size=chunk_size, **common
+    )
+    # Row-level equality is the engine's core guarantee; surface any
+    # violation in the baseline rather than silently recording timings.
+    rows_identical = serial["result"].rows == parallel["result"].rows
+    speedup = serial["seconds"] / parallel["seconds"]
+    return {
+        "experiment_id": experiment_id,
+        "trials": trials,
+        "workers": workers,
+        "chunk_size": chunk_size,
+        "seed": seed,
+        "serial_seconds": round(serial["seconds"], 3),
+        "parallel_seconds": round(parallel["seconds"], 3),
+        "speedup": round(speedup, 3),
+        "serial_trials_per_second": round(trials / serial["seconds"], 2),
+        "parallel_trials_per_second": round(trials / parallel["seconds"], 2),
+        "rows_identical": rows_identical,
+        "host_cpus": os.cpu_count(),
+    }
+
+
+def write_engine_baseline(
+    path: str = DEFAULT_BASELINE_PATH,
+    experiment_id: str = "table2",
+    trials: int = 200,
+    workers: int = 4,
+    chunk_size: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Measure engine throughput and persist the JSON baseline."""
+    baseline = measure_engine_throughput(
+        experiment_id=experiment_id,
+        trials=trials,
+        workers=workers,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
+    with open(path, "w") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    return baseline

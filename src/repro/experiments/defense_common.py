@@ -10,13 +10,14 @@ switches to the coherent matched-filter samples for ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.defense.detector import CumulantDetector, DetectionResult
 from repro.experiments.common import PreparedLink, transmit_once
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.experiments.engine import EngineSession, MonteCarloEngine
+from repro.utils.rng import RngLike
 from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
 
 CHIP_SOURCES = ("quadrature", "matched_filter")
@@ -72,15 +73,52 @@ def chip_noise_variance_for(
     return matched_filter_chip_noise_variance(sample_variance, samples_per_chip)
 
 
+def statistic_trial(
+    context: Dict[str, Any], args: Tuple[Any, ...], rng: np.random.Generator
+) -> Optional[StatisticSample]:
+    """Engine trial: one noisy reception screened by the detector.
+
+    ``args`` is ``(link_key, chip_source, noise_corrected, snr_db)``;
+    ``context`` must map ``link_key`` to a :class:`PreparedLink` and hold
+    ``"receiver"`` and ``"detector"``.  Returns ``None`` when the
+    reception never reaches the defense (sync loss, decode failure, or
+    too few chips) — the paper's pipeline drops those too.
+    """
+    link_key, chip_source, noise_corrected, snr_db = args
+    prepared = context[link_key]
+    rx = context["receiver"]
+    packet = transmit_once(prepared, rx, snr_db, rng)
+    if packet is None or not packet.decoded:
+        return None
+    chips = extract_chips(packet, chip_source)
+    if chips.size < 8:
+        return None
+    chip_noise = (
+        chip_noise_variance_for(packet, chip_source, rx.config.samples_per_chip)
+        if noise_corrected
+        else None
+    )
+    detection = context["detector"].statistic(
+        chips, chip_noise_variance=chip_noise
+    )
+    return StatisticSample(
+        distance_squared=detection.distance_squared,
+        detection=detection,
+        snr_db=snr_db,
+    )
+
+
 def collect_statistics(
-    prepared: PreparedLink,
-    detector: CumulantDetector,
+    prepared: Optional[PreparedLink],
+    detector: Optional[CumulantDetector],
     snr_db: Optional[float],
     count: int,
     rng: RngLike = None,
     receiver: Optional[ZigBeeReceiver] = None,
     chip_source: str = "quadrature",
     noise_corrected: bool = False,
+    session: Optional[EngineSession] = None,
+    link_key: str = "link",
 ) -> List[StatisticSample]:
     """Gather D_E^2 over ``count`` independent noisy receptions.
 
@@ -91,35 +129,24 @@ def collect_statistics(
         noise_corrected: apply the paper's noise-variance subtraction
             using the receiver's per-packet noise-floor estimate
             (matched-filter chip source only).
+        session: an open :class:`EngineSession` whose context already
+            holds the link(s), receiver, and detector; trials then run on
+            the engine (possibly in worker processes) and ``prepared`` /
+            ``detector`` / ``receiver`` are ignored.
+        link_key: which context entry carries the link under ``session``.
     """
     if chip_source not in CHIP_SOURCES:
         raise ValueError(f"chip_source must be one of {CHIP_SOURCES}")
-    rx = receiver or defense_receiver()
-    samples: List[StatisticSample] = []
-    rngs = spawn_rngs(rng, count)
-    for generator in rngs:
-        packet = transmit_once(prepared, rx, snr_db, generator)
-        if packet is None or not packet.decoded:
-            continue
-        chips = extract_chips(packet, chip_source)
-        if chips.size < 8:
-            continue
-        chip_noise = (
-            chip_noise_variance_for(
-                packet, chip_source, rx.config.samples_per_chip
-            )
-            if noise_corrected
-            else None
-        )
-        detection = detector.statistic(chips, chip_noise_variance=chip_noise)
-        samples.append(
-            StatisticSample(
-                distance_squared=detection.distance_squared,
-                detection=detection,
-                snr_db=snr_db,
-            )
-        )
-    return samples
+    static_args = (link_key, chip_source, noise_corrected, snr_db)
+    if session is None:
+        context = {
+            link_key: prepared,
+            "receiver": receiver or defense_receiver(),
+            "detector": detector,
+        }
+        session = MonteCarloEngine().session(context)
+    samples = session.run(statistic_trial, count, rng=rng, static_args=static_args)
+    return [sample for sample in samples if sample is not None]
 
 
 def mean_distance_squared(samples: Sequence[StatisticSample]) -> float:

@@ -1,0 +1,250 @@
+"""Trial-level parallel Monte Carlo execution engine.
+
+Every paper artifact is a Monte Carlo loop — ``trials`` independent
+noisy transmissions per sweep point, each consuming its own RNG stream
+from the :func:`repro.utils.rng.spawn_rngs` discipline.  This module
+fans those trials out to a ``ProcessPoolExecutor`` while keeping the
+results **bit-identical to the serial loop at the same seed, regardless
+of worker count or chunk size**:
+
+* stream seeds are drawn once in the parent, in trial order, via
+  :func:`repro.utils.rng.spawn_seeds` — exactly the integers the serial
+  ``spawn_rngs`` path would use — and each worker reconstructs its
+  generator from the seed it is handed;
+* shared per-experiment state (prepared waveforms, receivers,
+  detectors) is pickled into each worker once at pool start-up through
+  the executor's initializer, never per trial;
+* results come back tagged with their trial index and are reassembled
+  in trial order before any reduction runs.
+
+Telemetry recorded inside workers (spans, counters, histograms) is
+serialized per chunk via :meth:`Telemetry.dump_state` and folded back
+into the parent's tree with :meth:`Telemetry.merge_state`, so
+``--telemetry`` output stays complete under parallelism (histogram
+percentile reservoirs merge deterministically but depend on chunking;
+counts, sums, and extrema are exact).
+
+Usage::
+
+    engine = MonteCarloEngine(workers=4, chunk_size=25)
+    with engine.session({"prepared": link, "receiver": rx}) as session:
+        outcomes = session.run(my_trial, trials, rng=point_rng,
+                               static_args=(snr_db,))
+
+where ``my_trial(context, static_args, rng)`` is a **module-level**
+(picklable) function returning a picklable value.  ``workers=None`` or
+``1`` runs the same code path in process; if the pool cannot be created
+(restricted sandboxes, missing semaphores) the engine falls back to the
+sequential executor and records it on ``engine.used_fallback``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.telemetry import get_telemetry
+from repro.utils.rng import RngLike, spawn_seeds
+
+#: A single Monte Carlo trial: ``trial(context, static_args, rng)``.
+TrialFn = Callable[[Dict[str, Any], Tuple[Any, ...], np.random.Generator], Any]
+
+#: Chunks target this many dispatches per worker when no explicit
+#: ``chunk_size`` is given — large enough to amortize IPC, small enough
+#: to load-balance uneven trial costs.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+# Worker-process globals installed by the pool initializer.
+_WORKER_CONTEXT: Optional[Dict[str, Any]] = None
+
+
+def _worker_init(context: Dict[str, Any], telemetry_enabled: bool) -> None:
+    """Pool initializer: install shared state once per worker process."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    telemetry = get_telemetry()
+    telemetry.reset()
+    if telemetry_enabled:
+        telemetry.enable()
+
+
+def _run_chunk(
+    trial: TrialFn,
+    static_args: Tuple[Any, ...],
+    items: Sequence[Tuple[int, int]],
+) -> Tuple[List[Tuple[int, Any]], Optional[Dict[str, Any]]]:
+    """Execute one chunk of ``(trial_index, seed)`` items in a worker.
+
+    Returns the indexed results plus this chunk's telemetry delta (the
+    worker telemetry is reset per chunk so deltas never double count).
+    """
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.reset()
+        telemetry.enable()
+    results = [
+        (index, trial(_WORKER_CONTEXT, static_args, np.random.default_rng(seed)))
+        for index, seed in items
+    ]
+    state = telemetry.dump_state() if telemetry.enabled else None
+    return results, state
+
+
+def _chunked(
+    items: Sequence[Tuple[int, int]], chunk_size: int
+) -> List[List[Tuple[int, int]]]:
+    """Split indexed items into contiguous chunks of ``chunk_size``."""
+    return [
+        list(items[start:start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+class EngineSession:
+    """One experiment's execution scope: a context plus (maybe) a pool.
+
+    Created by :meth:`MonteCarloEngine.session`; usable as a context
+    manager.  The pool (when parallel) is created lazily on the first
+    :meth:`run` and reused across every sweep point of the experiment,
+    so workers deserialize the prepared waveforms exactly once.
+    """
+
+    def __init__(self, engine: "MonteCarloEngine", context: Dict[str, Any]):
+        self._engine = engine
+        self._context = context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_failed = False
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # -- execution ----------------------------------------------------
+
+    def run(
+        self,
+        trial: TrialFn,
+        count: int,
+        rng: RngLike = None,
+        static_args: Tuple[Any, ...] = (),
+    ) -> List[Any]:
+        """Run ``count`` independent trials; results in trial order.
+
+        Args:
+            trial: module-level ``trial(context, static_args, rng)``
+                callable (must be picklable for parallel execution).
+            count: number of trials; each receives its own RNG stream
+                spawned from ``rng`` in trial order.
+            rng: stream source for this sweep point.
+            static_args: per-sweep-point parameters (e.g. the SNR)
+                passed through to every trial unchanged.
+        """
+        if count < 0:
+            raise ConfigurationError("trial count must be non-negative")
+        seeds = spawn_seeds(rng, count)
+        telemetry = get_telemetry()
+        telemetry.count("engine.trials", count)
+        pool = self._acquire_pool()
+        if pool is None:
+            context = self._context
+            return [
+                trial(context, static_args, np.random.default_rng(seed))
+                for seed in seeds
+            ]
+        items = list(enumerate(seeds))
+        chunks = _chunked(items, self._engine.resolve_chunk_size(count))
+        futures = [
+            pool.submit(_run_chunk, trial, static_args, chunk)
+            for chunk in chunks
+        ]
+        results: List[Any] = [None] * count
+        # Collect in submission order so telemetry merges (histogram
+        # reservoir fill) stay deterministic for a fixed chunking.
+        for future in futures:
+            indexed, state = future.result()
+            for index, value in indexed:
+                results[index] = value
+            if state is not None:
+                telemetry.merge_state(state)
+        return results
+
+    # -- pool management ----------------------------------------------
+
+    def _acquire_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The session's pool, or ``None`` when running sequentially."""
+        engine = self._engine
+        if engine.workers <= 1 or self._pool_failed:
+            return None
+        if self._pool is None:
+            telemetry = get_telemetry()
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=engine.workers,
+                    initializer=_worker_init,
+                    initargs=(self._context, telemetry.enabled),
+                )
+            except Exception:
+                # Restricted environments (no process spawning, missing
+                # POSIX semaphores) land here; degrade to sequential.
+                self._pool_failed = True
+                engine.used_fallback = True
+                telemetry.count("engine.fallback")
+                return None
+            telemetry.set_gauge("engine.workers", engine.workers)
+        return self._pool
+
+
+class MonteCarloEngine:
+    """Policy object: how many workers, how big the chunks.
+
+    Attributes:
+        workers: worker process count; ``None`` or ``1`` selects the
+            in-process sequential executor (the default — experiments
+            stay dependency- and fork-free unless asked).
+        chunk_size: trials per dispatched chunk; ``None`` derives
+            ``ceil(count / (workers * DEFAULT_CHUNKS_PER_WORKER))``.
+        used_fallback: set when a parallel run degraded to sequential
+            because the process pool could not be created.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+    ):
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        self.workers = int(workers) if workers else 1
+        self.chunk_size = chunk_size
+        self.used_fallback = False
+
+    def resolve_chunk_size(self, count: int) -> int:
+        """The chunk size used for a ``count``-trial run."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(
+            1, math.ceil(count / (self.workers * DEFAULT_CHUNKS_PER_WORKER))
+        )
+
+    def session(self, context: Optional[Dict[str, Any]] = None) -> EngineSession:
+        """Open an execution session sharing ``context`` with workers.
+
+        ``context`` holds the per-experiment state every trial needs
+        (prepared waveforms, receivers, detectors).  It is pickled into
+        each worker exactly once — build it before opening the session
+        and treat it as read-only inside trials.
+        """
+        return EngineSession(self, dict(context or {}))

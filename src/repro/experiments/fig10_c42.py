@@ -44,9 +44,12 @@ def run(
         f"{statistic.upper()} vs SNR",
         columns=["snr_db", f"zigbee_{statistic}", f"emulated_{statistic}"],
     )
-    rngs = spawn_rngs(rng, 2 * len(list(snrs_db)))
+    # Materialize once: a generator would be drained by len() before the
+    # sweep loop ever saw a value.
+    snrs = list(snrs_db)
+    rngs = spawn_rngs(rng, 2 * len(snrs))
     zigbee_series, emulated_series = [], []
-    for i, snr in enumerate(snrs_db):
+    for i, snr in enumerate(snrs):
         per_class = {}
         for j, (label, prepared) in enumerate(
             (("zigbee", authentic), ("emulated", emulated))

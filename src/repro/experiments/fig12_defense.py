@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.defense.detector import CumulantDetector, calibrate_threshold
 from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
-from repro.experiments.defense_common import collect_statistics
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.experiments.defense_common import collect_statistics, defense_receiver
+from repro.experiments.engine import MonteCarloEngine
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
 def run(
@@ -25,42 +26,44 @@ def run(
     train_per_class: int = 25,
     test_per_class: int = 25,
     rng: RngLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Calibrate Q on training waveforms and evaluate on held-out ones."""
-    detector = CumulantDetector()
-    authentic = prepare_authentic()
-    emulated = prepare_emulated()
-    rngs = spawn_rngs(rng, 4 * len(list(snrs_db)))
+    snrs = list(snrs_db)
+    base = ensure_rng(rng)
+    rngs = spawn_rngs(base, 4 * len(snrs))
+    context = {
+        "zigbee": prepare_authentic(),
+        "emulated": prepare_emulated(rng=base),
+        "receiver": defense_receiver(),
+        "detector": CumulantDetector(),
+    }
+
+    def gather(session, link_key, snr, count, point_rng):
+        return [
+            s.distance_squared
+            for s in collect_statistics(
+                None, None, snr, count, rng=point_rng,
+                session=session, link_key=link_key,
+            )
+        ]
 
     train_zigbee, train_emulated = [], []
     test_sets = {}
-    for i, snr in enumerate(snrs_db):
-        train_zigbee.extend(
-            s.distance_squared
-            for s in collect_statistics(
-                authentic, detector, snr, train_per_class, rng=rngs[4 * i]
+    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    with engine.session(context) as session:
+        for i, snr in enumerate(snrs):
+            train_zigbee.extend(
+                gather(session, "zigbee", snr, train_per_class, rngs[4 * i])
             )
-        )
-        train_emulated.extend(
-            s.distance_squared
-            for s in collect_statistics(
-                emulated, detector, snr, train_per_class, rng=rngs[4 * i + 1]
+            train_emulated.extend(
+                gather(session, "emulated", snr, train_per_class, rngs[4 * i + 1])
             )
-        )
-        test_sets[snr] = (
-            [
-                s.distance_squared
-                for s in collect_statistics(
-                    authentic, detector, snr, test_per_class, rng=rngs[4 * i + 2]
-                )
-            ],
-            [
-                s.distance_squared
-                for s in collect_statistics(
-                    emulated, detector, snr, test_per_class, rng=rngs[4 * i + 3]
-                )
-            ],
-        )
+            test_sets[snr] = (
+                gather(session, "zigbee", snr, test_per_class, rngs[4 * i + 2]),
+                gather(session, "emulated", snr, test_per_class, rngs[4 * i + 3]),
+            )
 
     threshold = calibrate_threshold(train_zigbee, train_emulated)
 

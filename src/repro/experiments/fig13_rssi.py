@@ -4,36 +4,57 @@ The paper's experimental-setting figure includes a table of received
 signal strength indication readings over the 1-8 m range.  We reproduce
 it two ways: analytically from the link budget, and empirically by
 measuring the 8-symbol RSSI window on waveforms propagated through the
-real-environment channel.
+real-environment channel.  Each measured packet is one engine trial, so
+``workers`` parallelizes the sweep deterministically.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import replace
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.channel.environment import RealEnvironment
 from repro.experiments.common import ExperimentResult, prepare_authentic
+from repro.experiments.engine import MonteCarloEngine
 from repro.hardware.rssi import RssiEstimator
-from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.signal_ops import normalize_power
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+def _rssi_trial(
+    context: Dict[str, Any], args: Tuple[Any, ...], rng: np.random.Generator
+) -> float:
+    """One propagated packet's RSSI reading re-anchored at the budget mean."""
+    distance, mean_rx_dbm = args
+    channel = context["env"].channel_at(distance, rng=rng)
+    received = channel.apply(context["prepared"].on_air)
+    # Measure the fading-induced deviation around unit power over the
+    # RSSI window inside the frame, then re-anchor.
+    relative_db = context["estimator"].estimate(received, start=600)
+    return mean_rx_dbm + relative_db
 
 
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8),
     packets_per_point: int = 5,
     rng: RngLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """RSSI vs distance, analytic and measured."""
-    base_rng = ensure_rng(rng)
-    env = RealEnvironment(rng=base_rng)
-    prepared = prepare_authentic()
+    distances = list(distances_m)
+    env = RealEnvironment(rng=0)
     # Calibrate the estimator so unit sample power corresponds to the
     # transmit power at the reference distance: the channel pipeline
     # normalizes power, so we measure *relative* fading and re-anchor at
     # the budget's mean RX power.
     estimator = RssiEstimator(reference_dbm=0.0)
+    context = {
+        "env": env,
+        "prepared": prepare_authentic(),
+        "estimator": estimator,
+    }
 
     result = ExperimentResult(
         experiment_id="fig13",
@@ -41,27 +62,24 @@ def run(
         columns=["distance_m", "budget_rssi_dbm", "measured_rssi_dbm",
                  "fading_spread_db"],
     )
-    from dataclasses import replace
-
     deterministic_budget = replace(env.budget, shadowing_sigma_db=0.0)
-    for distance in distances_m:
-        mean_rx_dbm = float(deterministic_budget.received_power_dbm(distance))
-        readings = []
-        for _ in range(packets_per_point):
-            channel = env.channel_at(distance)
-            received = channel.apply(prepared.on_air)
-            # Measure the fading-induced deviation around unit power over
-            # the RSSI window inside the frame, then re-anchor.
-            unit = normalize_power(prepared.on_air.samples)
-            window = received.with_samples(received.samples)
-            relative_db = estimator.estimate(window, start=600)
-            readings.append(mean_rx_dbm + relative_db)
-        result.add_row(
-            distance_m=distance,
-            budget_rssi_dbm=estimator.estimate_from_power_dbm(mean_rx_dbm),
-            measured_rssi_dbm=float(np.mean(readings)),
-            fading_spread_db=float(np.max(readings) - np.min(readings)),
-        )
+    rngs = spawn_rngs(rng, len(distances))
+    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    with engine.session(context) as session:
+        for i, distance in enumerate(distances):
+            mean_rx_dbm = float(deterministic_budget.received_power_dbm(distance))
+            readings = session.run(
+                _rssi_trial,
+                packets_per_point,
+                rng=rngs[i],
+                static_args=(distance, mean_rx_dbm),
+            )
+            result.add_row(
+                distance_m=distance,
+                budget_rssi_dbm=estimator.estimate_from_power_dbm(mean_rx_dbm),
+                measured_rssi_dbm=float(np.mean(readings)),
+                fading_spread_db=float(np.max(readings) - np.min(readings)),
+            )
     result.notes.append(
         "measured = link-budget mean plus per-packet fading/noise deviation "
         "over the standard 8-symbol RSSI window"

@@ -10,12 +10,15 @@ below 0.1 at 8 m).  The qualitative claims to reproduce:
 * packet error rate >= symbol error rate;
 * the commodity receiver profile beats the USRP profile at range.
 
-Also reproduces the RSSI-vs-distance table embedded in Fig. 13.
+Each transmission is one engine trial with its own RNG stream, so the
+(distance x receiver x waveform) grid parallelizes across ``workers``
+with results bit-identical to the serial run at the same seed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from dataclasses import replace
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,62 +26,73 @@ from repro.channel.environment import RealEnvironment
 from repro.errors import SynchronizationError
 from repro.experiments.common import (
     ExperimentResult,
-    PreparedLink,
     packet_delivered,
     prepare_authentic,
     prepare_emulated,
 )
+from repro.experiments.engine import MonteCarloEngine
 from repro.hardware.cc26x2 import cc26x2_receiver_config
 from repro.hardware.rssi import RssiEstimator
 from repro.hardware.usrp import usrp_receiver_config
 from repro.link.metrics import ErrorRateAccumulator
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.zigbee.receiver import ZigBeeReceiver
 
 
-def _run_cell(
-    prepared: PreparedLink,
-    receiver: ZigBeeReceiver,
-    env: RealEnvironment,
-    distance: float,
-    trials: int,
-    loss_db: float,
-) -> ErrorRateAccumulator:
-    accumulator = ErrorRateAccumulator()
-    truth = prepared.sent.symbols[12:]
-    for _ in range(trials):
-        channel = env.channel_at(distance, extra_loss_db=loss_db)
-        try:
-            packet = receiver.receive(channel.apply(prepared.on_air))
-        except SynchronizationError:
-            accumulator.record_lost(truth.size)
-            continue
-        decoded = packet.diagnostics.psdu_symbols if packet else []
-        accumulator.record(
-            truth, decoded, packet_delivered(prepared, packet),
-            packet.diagnostics.hamming_distances if packet else None,
-        )
-    return accumulator
+def _link_trial(
+    context: Dict[str, Any], args: Tuple[Any, ...], rng: np.random.Generator
+) -> Optional[Tuple[np.ndarray, bool, Optional[np.ndarray]]]:
+    """One propagated reception; ``None`` marks a synchronization loss.
+
+    Returns ``(decoded_symbols, delivered, hamming_distances)`` so the
+    parent can replay the accumulator in trial order.
+    """
+    link_key, rx_name, distance, loss_db = args
+    prepared = context[link_key]
+    receiver = context["receivers"][rx_name]
+    channel = context["env"].channel_at(
+        distance, extra_loss_db=loss_db, rng=rng
+    )
+    try:
+        packet = receiver.receive(channel.apply(prepared.on_air))
+    except SynchronizationError:
+        return None
+    decoded = packet.diagnostics.psdu_symbols if packet else []
+    hamming = packet.diagnostics.hamming_distances if packet else None
+    return decoded, packet_delivered(prepared, packet), hamming
 
 
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8),
     trials: int = 10,
     rng: RngLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Error-rate sweep over distance for both receivers and waveforms."""
-    base_rng = ensure_rng(rng)
-    env = RealEnvironment(rng=base_rng)
-    receivers = {
-        "usrp": ZigBeeReceiver(usrp_receiver_config()),
-        "cc26x2": ZigBeeReceiver(cc26x2_receiver_config()),
-    }
+    distances = list(distances_m)
+    base = ensure_rng(rng)
+    env = RealEnvironment(rng=0)
     losses = {
         "usrp": usrp_receiver_config().implementation_loss_db,
         "cc26x2": cc26x2_receiver_config().implementation_loss_db,
     }
-    authentic = prepare_authentic()
-    emulated = prepare_emulated()
+    cells = [
+        (distance, rx_name, label)
+        for distance in distances
+        for rx_name in ("usrp", "cc26x2")
+        for label in ("original", "emulated")
+    ]
+    rngs = spawn_rngs(base, len(cells))
+    context = {
+        "env": env,
+        "receivers": {
+            "usrp": ZigBeeReceiver(usrp_receiver_config()),
+            "cc26x2": ZigBeeReceiver(cc26x2_receiver_config()),
+        },
+        "original": prepare_authentic(),
+        "emulated": prepare_emulated(rng=base),
+    }
     rssi = RssiEstimator(reference_dbm=0.0)
 
     result = ExperimentResult(
@@ -89,23 +103,37 @@ def run(
             "packet_error_rate", "symbol_error_rate", "snr_db", "rssi_dbm",
         ],
     )
-    for distance in distances_m:
-        snr = float(env.budget.snr_db(distance))
-        rx_power = float(env.budget.received_power_dbm(distance))
-        for rx_name, receiver in receivers.items():
-            for label, prepared in (("original", authentic), ("emulated", emulated)):
-                cell = _run_cell(
-                    prepared, receiver, env, distance, trials, losses[rx_name]
-                )
-                result.add_row(
-                    distance_m=distance,
-                    receiver=rx_name,
-                    waveform=label,
-                    packet_error_rate=cell.packet_error_rate,
-                    symbol_error_rate=cell.symbol_error_rate,
-                    snr_db=snr,
-                    rssi_dbm=rssi.estimate_from_power_dbm(rx_power),
-                )
+    # Reported SNR/RSSI columns use the shadowing-free budget mean; the
+    # per-trial channels still draw shadowing from their own streams.
+    mean_budget = replace(env.budget, shadowing_sigma_db=0.0)
+    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    with engine.session(context) as session:
+        for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
+            outcomes = session.run(
+                _link_trial,
+                trials,
+                rng=cell_rng,
+                static_args=(label, rx_name, distance, losses[rx_name]),
+            )
+            accumulator = ErrorRateAccumulator()
+            truth = context[label].sent.symbols[12:]
+            for outcome in outcomes:
+                if outcome is None:
+                    accumulator.record_lost(truth.size)
+                    continue
+                decoded, delivered, hamming = outcome
+                accumulator.record(truth, decoded, delivered, hamming)
+            result.add_row(
+                distance_m=distance,
+                receiver=rx_name,
+                waveform=label,
+                packet_error_rate=accumulator.packet_error_rate,
+                symbol_error_rate=accumulator.symbol_error_rate,
+                snr_db=float(mean_budget.snr_db(distance)),
+                rssi_dbm=rssi.estimate_from_power_dbm(
+                    float(mean_budget.received_power_dbm(distance))
+                ),
+            )
     result.notes.append(
         "USRP profile: quadrature demodulation + implementation loss; "
         "CC26x2 profile: coherent correlator (the paper's 'stronger "

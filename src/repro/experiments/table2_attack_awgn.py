@@ -10,11 +10,17 @@ Beyond the paper's table, ``screen_defense`` runs the cumulant detector
 over every decoded emulated packet and reports the fraction flagged —
 the "seek" half of the story on the same waveforms, which also exercises
 the defense spans/counters when telemetry is enabled.
+
+Trials run on the :mod:`repro.experiments.engine`; pass ``workers`` to
+parallelize paper-scale sweeps (results are bit-identical to serial at
+the same seed).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.defense.detector import CumulantDetector
 from repro.experiments.common import (
@@ -24,11 +30,41 @@ from repro.experiments.common import (
     prepare_emulated,
     transmit_once,
 )
+from repro.experiments.engine import MonteCarloEngine
 from repro.hardware.usrp import gnuradio_simulation_receiver_config
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.zigbee.receiver import ZigBeeReceiver
 
 PAPER_SUCCESS_RATES = {7: 0.424, 9: 0.692, 11: 0.874, 13: 0.933, 15: 0.972, 17: 1.0}
+
+
+def _emulated_trial(
+    context: Dict[str, Any], args: Tuple[Any, ...], rng: np.random.Generator
+) -> Tuple[bool, bool, bool]:
+    """One noisy emulated transmission: (delivered, screened, detected)."""
+    (snr,) = args
+    prepared = context["emulated"]
+    packet = transmit_once(prepared, context["receiver"], snr, rng)
+    delivered = packet_delivered(prepared, packet)
+    screened = detected = False
+    detector = context["detector"]
+    if detector is not None and packet is not None and packet.decoded:
+        chips = packet.diagnostics.psdu_quadrature_soft_chips
+        if chips.size >= 64:
+            screened = True
+            detected = bool(detector.statistic(chips).is_attack)
+    return delivered, screened, detected
+
+
+def _authentic_trial(
+    context: Dict[str, Any], args: Tuple[Any, ...], rng: np.random.Generator
+) -> bool:
+    """One noisy authentic transmission: delivered or not."""
+    (snr,) = args
+    prepared = context["authentic"]
+    return packet_delivered(
+        prepared, transmit_once(prepared, context["receiver"], snr, rng)
+    )
 
 
 def run(
@@ -37,6 +73,8 @@ def run(
     include_authentic: bool = True,
     screen_defense: bool = True,
     rng: RngLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep attack success rate over SNR.
 
@@ -48,11 +86,20 @@ def run(
         screen_defense: also run the cumulant detector over each decoded
             emulated packet and report the flagged fraction.
         rng: randomness for noise realizations.
+        workers: Monte Carlo engine worker processes (default: serial).
+        chunk_size: trials per engine dispatch (default: derived).
     """
-    receiver = ZigBeeReceiver(gnuradio_simulation_receiver_config())
-    emulated = prepare_emulated()
-    authentic = prepare_authentic()
-    detector = CumulantDetector() if screen_defense else None
+    snrs = list(snrs_db)
+    base = ensure_rng(rng)
+    rngs = spawn_rngs(base, len(snrs) * 2)
+    # Seed the emulation (filler subcarriers) from the same base — drawn
+    # after the noise streams — so a fixed seed fixes the whole run.
+    context = {
+        "receiver": ZigBeeReceiver(gnuradio_simulation_receiver_config()),
+        "emulated": prepare_emulated(rng=base),
+        "authentic": prepare_authentic(),
+        "detector": CumulantDetector() if screen_defense else None,
+    }
 
     columns = ["snr_db", "success_rate", "paper_success_rate"]
     if include_authentic:
@@ -64,41 +111,33 @@ def run(
         title="Table II: emulation attack performance under AWGN",
         columns=columns,
     )
-    rngs = spawn_rngs(rng, len(list(snrs_db)) * 2)
-    for i, snr in enumerate(snrs_db):
-        noise_rngs = spawn_rngs(rngs[2 * i], trials)
-        successes = 0
-        screened = 0
-        detections = 0
-        for t in range(trials):
-            packet = transmit_once(emulated, receiver, snr, noise_rngs[t])
-            if packet_delivered(emulated, packet):
-                successes += 1
-            if detector is not None and packet is not None and packet.decoded:
-                chips = packet.diagnostics.psdu_quadrature_soft_chips
-                if chips.size >= 64:
-                    screened += 1
-                    if detector.statistic(chips).is_attack:
-                        detections += 1
-        row = {
-            "snr_db": snr,
-            "success_rate": successes / trials,
-            "paper_success_rate": PAPER_SUCCESS_RATES.get(int(snr), float("nan")),
-        }
-        if screen_defense:
-            row["detected_rate"] = (
-                detections / screened if screened else float("nan")
+    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    with engine.session(context) as session:
+        for i, snr in enumerate(snrs):
+            outcomes = session.run(
+                _emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
             )
-        if include_authentic:
-            auth_rngs = spawn_rngs(rngs[2 * i + 1], trials)
-            auth_successes = sum(
-                packet_delivered(
-                    authentic, transmit_once(authentic, receiver, snr, auth_rngs[t])
+            successes = sum(delivered for delivered, _, _ in outcomes)
+            screened = sum(was_screened for _, was_screened, _ in outcomes)
+            detections = sum(detected for _, _, detected in outcomes)
+            row = {
+                "snr_db": snr,
+                "success_rate": successes / trials,
+                "paper_success_rate": PAPER_SUCCESS_RATES.get(
+                    int(snr), float("nan")
+                ),
+            }
+            if screen_defense:
+                row["detected_rate"] = (
+                    detections / screened if screened else float("nan")
                 )
-                for t in range(trials)
-            )
-            row["authentic_success_rate"] = auth_successes / trials
-        result.add_row(**row)
+            if include_authentic:
+                delivered = session.run(
+                    _authentic_trial, trials, rng=rngs[2 * i + 1],
+                    static_args=(snr,),
+                )
+                row["authentic_success_rate"] = sum(delivered) / trials
+            result.add_row(**row)
     result.notes.append(
         "receiver: GNU-Radio-style profile (quadrature demod, naive decimation) "
         "matching the paper's simulation SNR axis"

@@ -13,8 +13,13 @@ from typing import Optional, Sequence
 
 from repro.defense.detector import CumulantDetector
 from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
-from repro.experiments.defense_common import collect_statistics, mean_distance_squared
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.experiments.defense_common import (
+    collect_statistics,
+    defense_receiver,
+    mean_distance_squared,
+)
+from repro.experiments.engine import MonteCarloEngine
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 PAPER_TABLE4 = {
     7: (0.1546, 1.7140),
@@ -28,6 +33,8 @@ def run(
     waveforms_per_point: int = 50,
     chip_source: str = "quadrature",
     rng: RngLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Average D_E^2 per class per SNR.
 
@@ -36,10 +43,18 @@ def run(
         waveforms_per_point: waveforms averaged per cell (paper: 50).
         chip_source: defense chip tap (see ``defense_common``).
         rng: noise randomness.
+        workers: Monte Carlo engine worker processes (default: serial).
+        chunk_size: trials per engine dispatch (default: derived).
     """
-    detector = CumulantDetector()
-    authentic = prepare_authentic()
-    emulated = prepare_emulated()
+    snrs = list(snrs_db)
+    base = ensure_rng(rng)
+    rngs = spawn_rngs(base, 2 * len(snrs))
+    context = {
+        "zigbee": prepare_authentic(),
+        "emulated": prepare_emulated(rng=base),
+        "receiver": defense_receiver(),
+        "detector": CumulantDetector(),
+    }
     result = ExperimentResult(
         experiment_id="table4",
         title="Table IV: averaged Euclidean distance square (D_E^2)",
@@ -48,27 +63,30 @@ def run(
             "paper_zigbee_de2", "paper_emulated_de2", "separation_factor",
         ],
     )
-    rngs = spawn_rngs(rng, 2 * len(list(snrs_db)))
-    for i, snr in enumerate(snrs_db):
-        zigbee_stats = collect_statistics(
-            authentic, detector, snr, waveforms_per_point,
-            rng=rngs[2 * i], chip_source=chip_source,
-        )
-        emulated_stats = collect_statistics(
-            emulated, detector, snr, waveforms_per_point,
-            rng=rngs[2 * i + 1], chip_source=chip_source,
-        )
-        zigbee_mean = mean_distance_squared(zigbee_stats)
-        emulated_mean = mean_distance_squared(emulated_stats)
-        paper = PAPER_TABLE4.get(int(snr), (float("nan"), float("nan")))
-        result.add_row(
-            snr_db=snr,
-            zigbee_de2=zigbee_mean,
-            emulated_de2=emulated_mean,
-            paper_zigbee_de2=paper[0],
-            paper_emulated_de2=paper[1],
-            separation_factor=emulated_mean / zigbee_mean if zigbee_mean else float("nan"),
-        )
+    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    with engine.session(context) as session:
+        for i, snr in enumerate(snrs):
+            zigbee_stats = collect_statistics(
+                None, None, snr, waveforms_per_point,
+                rng=rngs[2 * i], chip_source=chip_source,
+                session=session, link_key="zigbee",
+            )
+            emulated_stats = collect_statistics(
+                None, None, snr, waveforms_per_point,
+                rng=rngs[2 * i + 1], chip_source=chip_source,
+                session=session, link_key="emulated",
+            )
+            zigbee_mean = mean_distance_squared(zigbee_stats)
+            emulated_mean = mean_distance_squared(emulated_stats)
+            paper = PAPER_TABLE4.get(int(snr), (float("nan"), float("nan")))
+            result.add_row(
+                snr_db=snr,
+                zigbee_de2=zigbee_mean,
+                emulated_de2=emulated_mean,
+                paper_zigbee_de2=paper[0],
+                paper_emulated_de2=paper[1],
+                separation_factor=emulated_mean / zigbee_mean if zigbee_mean else float("nan"),
+            )
     result.notes.append(
         f"defense chip source: {chip_source}; absolute D_E^2 is smaller than "
         "the paper's (cleaner receiver front end) but the class gap and "

@@ -68,6 +68,18 @@ class SpanNode:
             node.children[rebuilt.name] = rebuilt
         return node
 
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Accumulate a :meth:`to_dict` subtree into this node.
+
+        Counts and seconds add; children are matched by name (created on
+        first sight, in the serialized order).  Used to fold span trees
+        recorded in worker processes back into the parent's tree.
+        """
+        self.call_count += int(data.get("count", 0))
+        self.total_seconds += float(data.get("seconds", 0.0))
+        for child in data.get("children", []):
+            self.child(str(child.get("name", "run"))).merge_dict(child)
+
 
 class _NoopSpan:
     """Shared inert context manager returned while telemetry is disabled."""
@@ -187,6 +199,37 @@ class Telemetry:
     def snapshot(self) -> Dict[str, Any]:
         """Span tree plus metric state as one JSON-serializable dict."""
         return {"spans": self.span_tree(), "metrics": self.registry.snapshot()}
+
+    # -- cross-process merge ------------------------------------------
+
+    def dump_state(self) -> Dict[str, Any]:
+        """Complete, mergeable state: span tree plus full metric state.
+
+        Unlike :meth:`snapshot` this preserves histogram reservoirs, so a
+        worker process can ship its recorded telemetry back to the parent
+        for :meth:`merge_state` without losing percentile fidelity.
+        """
+        return {"spans": self.span_tree(), "metrics": self.registry.dump_state()}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a :meth:`dump_state` payload into this telemetry.
+
+        Spans merge under the *currently open* span (the stack top), so
+        work recorded by a pool worker nests where the parent dispatched
+        it; counters add, gauges take the incoming value, and histograms
+        combine exact aggregates plus reservoirs.
+        """
+        spans = state.get("spans")
+        if spans:
+            # The worker's root is an artificial "run" wrapper; graft its
+            # children onto wherever the parent currently is.
+            for child in spans.get("children", []):
+                self._stack[-1].child(
+                    str(child.get("name", "run"))
+                ).merge_dict(child)
+        metrics = state.get("metrics")
+        if metrics:
+            self.registry.merge_state(metrics)
 
 
 _SINGLETON = Telemetry()

@@ -122,6 +122,43 @@ class Histogram:
         weight = position - low
         return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
+    def dump_state(self) -> Dict[str, Any]:
+        """Exact internal state (aggregates plus reservoir) for merging."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "reservoir": list(self._reservoir),
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Combine another histogram's :meth:`dump_state` into this one.
+
+        Count/sum/min/max stay exact.  Reservoirs concatenate up to
+        capacity (overflow beyond capacity is dropped deterministically),
+        so percentiles remain exact until the combined sample count
+        exceeds the reservoir size.
+        """
+        incoming = int(state.get("count", 0))
+        if incoming == 0:
+            return
+        self.count += incoming
+        self.total += float(state.get("total", 0.0))
+        for bound, better in (("min", min), ("max", max)):
+            value = state.get(bound)
+            if value is None:
+                continue
+            current = self.minimum if bound == "min" else self.maximum
+            merged = float(value) if current is None else better(current, value)
+            if bound == "min":
+                self.minimum = merged
+            else:
+                self.maximum = merged
+        room = self._capacity - len(self._reservoir)
+        if room > 0:
+            self._reservoir.extend(state.get("reservoir", [])[:room])
+
     def summary(self) -> Dict[str, float]:
         """count/sum/min/max/mean plus p50/p95/p99 as one dict."""
         if self.count == 0:
@@ -175,6 +212,45 @@ class MetricRegistry:
         if instrument is None:
             instrument = self.histograms[key] = Histogram(key)
         return instrument
+
+    def dump_state(self) -> Dict[str, Any]:
+        """Complete mergeable state of every instrument.
+
+        Counters and gauges dump their value; histograms dump exact
+        aggregates plus their reservoir so :meth:`merge_state` can
+        combine percentile state across processes.
+        """
+        return {
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "gauges": {k: g.value for k, g in self.gauges.items()},
+            "histograms": {
+                k: h.dump_state() for k, h in self.histograms.items()
+            },
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge exactly on count/sum/min/max.  Keys are the
+        canonical ``name{labels}`` strings, so instruments recorded in a
+        worker process land on the parent's instrument of the same name.
+        """
+        for key, value in state.get("counters", {}).items():
+            counter = self.counters.get(key)
+            if counter is None:
+                counter = self.counters[key] = Counter(key)
+            counter.increment(value)
+        for key, value in state.get("gauges", {}).items():
+            gauge = self.gauges.get(key)
+            if gauge is None:
+                gauge = self.gauges[key] = Gauge(key)
+            gauge.set(value)
+        for key, hist_state in state.get("histograms", {}).items():
+            histogram = self.histograms.get(key)
+            if histogram is None:
+                histogram = self.histograms[key] = Histogram(key)
+            histogram.merge_state(hist_state)
 
     def snapshot(self) -> Dict[str, Any]:
         """All metric state as one JSON-serializable dict."""

@@ -24,10 +24,23 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
-def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
-    """Derive ``count`` independent generators from one source."""
+def spawn_seeds(rng: RngLike, count: int) -> List[int]:
+    """Derive ``count`` independent stream seeds from one source.
+
+    This is the picklable half of :func:`spawn_rngs`: the integers drawn
+    here are exactly the seeds ``spawn_rngs`` feeds to
+    ``numpy.random.default_rng``, so a worker process reconstructing a
+    generator from ``spawn_seeds(rng, n)[i]`` observes the bit-identical
+    stream the in-process ``spawn_rngs(rng, n)[i]`` would produce.  The
+    parallel experiment engine relies on this to keep results invariant
+    under worker count and chunk size.
+    """
     if count < 0:
         raise ValueError("count must be non-negative")
     base = ensure_rng(rng)
-    seeds = base.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [int(seed) for seed in base.integers(0, 2**63 - 1, size=count)]
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from one source."""
+    return [np.random.default_rng(seed) for seed in spawn_seeds(rng, count)]

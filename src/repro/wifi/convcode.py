@@ -49,22 +49,74 @@ def _trellis() -> Tuple[np.ndarray, np.ndarray]:
     return next_state, outputs
 
 
+@lru_cache(maxsize=1)
+def _reverse_trellis() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Transitions reorganized by destination for the Viterbi forward pass.
+
+    Every state has exactly two predecessors; returns ``(predecessors,
+    pred_bits, pred_outputs)``, cached and marked read-only so every
+    ``viterbi_decode`` call shares one table instead of rebuilding it.
+    """
+    next_state, outputs = _trellis()
+    predecessors = np.zeros((NUM_STATES, 2), dtype=np.int64)
+    pred_bits = np.zeros((NUM_STATES, 2), dtype=np.uint8)
+    pred_outputs = np.zeros((NUM_STATES, 2, 2), dtype=np.uint8)
+    counts = np.zeros(NUM_STATES, dtype=np.int64)
+    for state in range(NUM_STATES):
+        for bit in range(2):
+            destination = int(next_state[state, bit])
+            slot = counts[destination]
+            predecessors[destination, slot] = state
+            pred_bits[destination, slot] = bit
+            pred_outputs[destination, slot] = outputs[state, bit]
+            counts[destination] += 1
+    for table in (predecessors, pred_bits, pred_outputs):
+        table.setflags(write=False)
+    return predecessors, pred_bits, pred_outputs
+
+
+@lru_cache(maxsize=1)
+def _generator_taps() -> Tuple[np.ndarray, np.ndarray]:
+    """Generator polynomials as K-length 0/1 tap vectors.
+
+    With the shift register laid out as ``register = (bit << (K-1)) |
+    state``, register bit ``k`` at step ``i`` holds input bit ``i-(K-1)+k``,
+    so output ``g`` of step ``i`` is the GF(2) inner product of tap
+    vector ``[(g >> k) & 1 for k]`` with the zero-padded input window
+    ``bits[i-(K-1) : i+1]``.
+    """
+    def taps(generator: int) -> np.ndarray:
+        return np.array(
+            [(generator >> k) & 1 for k in range(CONSTRAINT_LENGTH)],
+            dtype=np.uint8,
+        )
+
+    return taps(G0), taps(G1)
+
+
 def conv_encode(bits: np.ndarray) -> np.ndarray:
     """Rate-1/2 encoding; the encoder starts and is left in state 0.
 
     802.11 appends six tail zero bits at the MAC/PLCP level, so the
-    encoder itself performs no termination.
+    encoder itself performs no termination.  The encoder is a linear
+    system over GF(2), so both output streams are computed as one
+    vectorized sliding-window product instead of a per-bit state walk.
     """
     array = np.asarray(bits, dtype=np.uint8)
     if array.ndim != 1:
         raise ConfigurationError("bits must be 1-D")
-    next_state, outputs = _trellis()
     coded = np.empty(2 * array.size, dtype=np.uint8)
-    state = 0
-    for i, bit in enumerate(array):
-        coded[2 * i] = outputs[state, bit, 0]
-        coded[2 * i + 1] = outputs[state, bit, 1]
-        state = int(next_state[state, bit])
+    if array.size == 0:
+        return coded
+    taps0, taps1 = _generator_taps()
+    padded = np.concatenate(
+        [np.zeros(CONSTRAINT_LENGTH - 1, dtype=np.uint8), array]
+    )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, CONSTRAINT_LENGTH
+    ).astype(np.int64)
+    coded[0::2] = (windows @ taps0) & 1
+    coded[1::2] = (windows @ taps1) & 1
     return coded
 
 
@@ -116,22 +168,7 @@ def viterbi_decode(coded: np.ndarray, num_data_bits: int) -> np.ndarray:
         raise DecodingError(
             f"expected {2 * num_data_bits} coded bits, got {array.size}"
         )
-    next_state, outputs = _trellis()
-
-    # Reorganize transitions by destination for a vectorized forward pass:
-    # every state has exactly two predecessors.
-    predecessors = np.zeros((NUM_STATES, 2), dtype=np.int64)
-    pred_bits = np.zeros((NUM_STATES, 2), dtype=np.uint8)
-    pred_outputs = np.zeros((NUM_STATES, 2, 2), dtype=np.uint8)
-    counts = np.zeros(NUM_STATES, dtype=np.int64)
-    for state in range(NUM_STATES):
-        for bit in range(2):
-            destination = int(next_state[state, bit])
-            slot = counts[destination]
-            predecessors[destination, slot] = state
-            pred_bits[destination, slot] = bit
-            pred_outputs[destination, slot] = outputs[state, bit]
-            counts[destination] += 1
+    predecessors, pred_bits, pred_outputs = _reverse_trellis()
 
     infinity = np.float64(1e18)
     metrics = np.full(NUM_STATES, infinity)

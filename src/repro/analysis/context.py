@@ -1,0 +1,112 @@
+"""Per-module analysis context shared by every rule.
+
+A :class:`ModuleContext` bundles the parsed AST with everything rules
+repeatedly need: the import alias map (so ``np.random.rand`` and
+``from numpy import random as nr; nr.rand`` resolve to the same
+qualified name), the set of expressions opened as ``with`` items, and
+the module's *role* — library code under ``src/repro`` is held to
+stricter rules than tests or tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+
+def qualified_name(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to a dotted name through ``imports``.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` yields
+    ``"numpy.random.default_rng"``; a bare in-module name resolves to
+    itself.  Returns ``None`` for dynamic receivers (calls, subscripts)
+    whose origin a static pass cannot know.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(imports.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def _collect_imports(tree: ast.AST) -> Dict[str, str]:
+    """Map every imported local name to its fully qualified origin."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+class ModuleContext:
+    """One parsed module plus the precomputed facts rules query.
+
+    Attributes:
+        path: display path used in diagnostics (posix-style).
+        source: full module source text.
+        tree: the parsed ``ast.Module``.
+        imports: local name -> qualified origin (see :func:`qualified_name`).
+        is_library: under ``repro/`` and not a test — strictest rules.
+        is_test: a ``tests/`` / ``test_*.py`` module.
+        is_rng_module: ``repro/utils/rng.py`` itself, the one blessed home
+            of unseeded generator construction.
+        is_telemetry_module: under ``repro/telemetry/`` — the one blessed
+            home of raw clock reads.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.imports = _collect_imports(tree)
+        self._with_items: Optional[Set[int]] = None
+
+        posix = self.path
+        name = posix.rsplit("/", 1)[-1]
+        self.is_test = (
+            "tests/" in posix
+            or posix.startswith("tests")
+            or name.startswith("test_")
+            or name.startswith("conftest")
+        )
+        self.is_library = "repro/" in posix and not self.is_test
+        self.is_rng_module = posix.endswith("repro/utils/rng.py")
+        self.is_telemetry_module = "repro/telemetry/" in posix
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Qualified dotted name of ``node`` through this module's imports."""
+        return qualified_name(node, self.imports)
+
+    def basename(self, node: ast.AST) -> Optional[str]:
+        """Last component of :meth:`resolve` (``default_rng`` of any spelling)."""
+        resolved = self.resolve(node)
+        if resolved is None:
+            return None
+        return resolved.rsplit(".", 1)[-1]
+
+    @property
+    def with_item_expressions(self) -> Set[int]:
+        """``id()`` of every expression opened as a ``with`` item.
+
+        Rules use this to tell ``with telemetry.span(...):`` (fine) from
+        ``handle = telemetry.span(...)`` (a leaked span).
+        """
+        if self._with_items is None:
+            found: Set[int] = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        found.add(id(item.context_expr))
+            self._with_items = found
+        return self._with_items

@@ -1,0 +1,72 @@
+"""Pluggable rule registry keyed by ``R00x`` codes.
+
+A rule is any callable object with ``code``, ``name``, and
+``rationale`` attributes whose ``check(module)`` yields
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  Registering
+is one decorator::
+
+    @rule
+    class NoSundialTiming:
+        code = "R9xx"
+        name = "no-sundial"
+        rationale = "why the invariant matters"
+
+        def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+            ...
+
+The registry is process-global, which keeps the CLI, the ``lint``
+subcommand, and tests all running the identical rule set; tests that
+need a private registry pass an explicit ``rules=`` list to the runner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.analysis.diagnostics import CODE_PATTERN
+
+_REGISTRY: Dict[str, object] = {}
+
+
+def rule(cls: Type) -> Type:
+    """Class decorator: instantiate and register one rule."""
+    instance = cls()
+    code = getattr(instance, "code", None)
+    if not code or not CODE_PATTERN.match(code):
+        raise ValueError(f"rule {cls.__name__} needs a code like 'R001'")
+    for attribute in ("name", "rationale"):
+        if not getattr(instance, attribute, None):
+            raise ValueError(f"rule {code} is missing '{attribute}'")
+    if not callable(getattr(instance, "check", None)):
+        raise ValueError(f"rule {code} must define check(module)")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = instance
+    return cls
+
+
+def get_rule(code: str):
+    """The registered rule for ``code`` (KeyError when unknown)."""
+    return _REGISTRY[code]
+
+
+def all_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[object]:
+    """Registered rules in code order, optionally filtered.
+
+    Args:
+        select: when given, only these codes run.
+        ignore: codes to drop after selection.
+    """
+    selected = set(select) if select else None
+    ignored = set(ignore or ())
+    unknown = (set(selected or ()) | ignored) - set(_REGISTRY)
+    if unknown:
+        raise KeyError(f"unknown rule codes: {', '.join(sorted(unknown))}")
+    return [
+        _REGISTRY[code]
+        for code in sorted(_REGISTRY)
+        if (selected is None or code in selected) and code not in ignored
+    ]

@@ -1,0 +1,101 @@
+"""File discovery, rule execution, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis import rules as _rules  # noqa: F401 - registers the rule set
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic, SuppressionIndex
+from repro.analysis.registry import all_rules
+
+#: Directories never descended into.
+SKIPPED_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through verbatim)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for directory, subdirs, files in os.walk(path):
+            subdirs[:] = sorted(
+                d for d in subdirs
+                if d not in SKIPPED_DIRS and not d.startswith(".")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(directory, name)
+
+
+def check_source(
+    source: str,
+    filename: str = "<string>",
+    rules: Optional[Iterable[object]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string; the workhorse behind :func:`run_lint`.
+
+    ``filename`` drives role classification (library vs test vs exempt
+    module) exactly as an on-disk path would, so tests can exercise
+    library-only rules on fixture snippets.
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=filename.replace("\\", "/"),
+                line=error.lineno or 1,
+                column=(error.offset or 0) or 1,
+                code="E001",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    module = ModuleContext(filename, source, tree)
+    suppressions = SuppressionIndex.from_source(source)
+    found: List[Diagnostic] = []
+    seen = set()
+    for checker in (rules if rules is not None else all_rules()):
+        for diagnostic in checker.check(module):
+            key = (diagnostic.code, diagnostic.line, diagnostic.column)
+            if key in seen or suppressions.is_suppressed(diagnostic):
+                continue
+            seen.add(key)
+            found.append(diagnostic)
+    return sorted(found)
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """Lint every Python file under ``paths``.
+
+    Returns ``(diagnostics, files_checked)``; unreadable files surface
+    as ``E002`` diagnostics rather than crashing the run.
+    """
+    active = all_rules(select=select, ignore=ignore)
+    diagnostics: List[Diagnostic] = []
+    files_checked = 0
+    for filename in iter_python_files(paths):
+        files_checked += 1
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as error:
+            diagnostics.append(
+                Diagnostic(
+                    path=filename.replace("\\", "/"),
+                    line=1,
+                    column=1,
+                    code="E002",
+                    message=f"cannot read file: {error}",
+                )
+            )
+            continue
+        diagnostics.extend(check_source(source, filename, rules=active))
+    return sorted(diagnostics), files_checked

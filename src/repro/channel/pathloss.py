@@ -68,24 +68,26 @@ class LinkBudget:
         reference = free_space_path_loss_db(
             self.reference_distance_m, self.frequency_hz
         )
-        loss = reference + 10.0 * self.path_loss_exponent * np.log10(
+        loss_db = reference + 10.0 * self.path_loss_exponent * np.log10(
             max(distance_m, 1e-9) / self.reference_distance_m
         )
         if self.shadowing_sigma_db > 0:
-            loss += float(ensure_rng(rng).normal(0.0, self.shadowing_sigma_db))
-        return float(loss)
+            loss_db += float(
+                ensure_rng(rng).normal(0.0, self.shadowing_sigma_db)
+            )
+        return float(loss_db)
 
     @property
     def noise_floor_dbm(self) -> float:
         """Integrated thermal noise plus noise figure plus interference."""
-        thermal = (
+        thermal_dbm = (
             THERMAL_NOISE_DBM_HZ
             + 10.0 * np.log10(self.bandwidth_hz)
             + self.noise_figure_db
         )
         if self.interference_power_dbm is None:
-            return thermal
-        combined = 10.0 ** (thermal / 10.0) + 10.0 ** (
+            return thermal_dbm
+        combined = 10.0 ** (thermal_dbm / 10.0) + 10.0 ** (
             self.interference_power_dbm / 10.0
         )
         return float(10.0 * np.log10(combined))

@@ -15,11 +15,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Any, Dict, List, Optional
 
 from repro.experiments.registry import experiment_ids, get_experiment
-from repro.telemetry import get_telemetry
+from repro.telemetry import get_telemetry, stopwatch
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,6 +80,21 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None,
                        help="baseline path (default: BENCH_engine.json)")
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the AST invariant checker (rules R001-R006)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files or directories to lint (default: src tests)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--select", metavar="CODES", default=None,
+                      help="comma-separated rule codes to run")
+    lint.add_argument("--ignore", metavar="CODES", default=None,
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     report = subparsers.add_parser(
         "report",
         help="render a saved telemetry file, or (given a fresh output "
@@ -116,10 +130,9 @@ def _generate_report(out: str, trials: Optional[int], seed: int) -> None:
                 if name in parameters:
                     kwargs[name] = trials
                     break
-        started = time.perf_counter()
-        result = entry.run(**kwargs)
-        elapsed = time.perf_counter() - started
-        print(f"[{experiment_id}: {elapsed:.1f} s]")
+        with stopwatch() as timer:
+            result = entry.run(**kwargs)
+        print(f"[{experiment_id}: {timer.seconds:.1f} s]")
         lines.append(f"## {experiment_id} — {entry.description}")
         lines.append("")
         lines.append("```")
@@ -257,10 +270,10 @@ def _run_one(
         kwargs["workers"] = workers
     if chunk_size is not None and "chunk_size" in parameters:
         kwargs["chunk_size"] = chunk_size
-    started = time.perf_counter()
-    with telemetry.span(f"experiment.{experiment_id}"):
-        result = entry.run(**kwargs)
-    elapsed = time.perf_counter() - started
+    with stopwatch() as timer:
+        with telemetry.span(f"experiment.{experiment_id}"):
+            result = entry.run(**kwargs)
+    elapsed = timer.seconds
     span_tree = None
     if telemetry.enabled:
         # Attach this experiment's subtree, not the whole run's.
@@ -324,6 +337,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "dataset":
         _generate_dataset(args.out, args.per_class, args.snrs, args.seed)
         return 0
+    if args.command == "lint":
+        from repro.analysis.cli import execute as lint_execute
+
+        return lint_execute(args)
     if args.command == "bench-engine":
         from repro.experiments.bench import (
             DEFAULT_BASELINE_PATH,

@@ -16,20 +16,19 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from typing import Any, Dict, Optional
 
 from repro.experiments.registry import get_experiment
+from repro.telemetry import stopwatch
 
 #: Default output file, committed at the repository root.
 DEFAULT_BASELINE_PATH = "BENCH_engine.json"
 
 
 def _timed_run(entry, **kwargs) -> Dict[str, Any]:
-    started = time.perf_counter()
-    result = entry.run(**kwargs)
-    elapsed = time.perf_counter() - started
-    return {"result": result, "seconds": elapsed}
+    with stopwatch() as timer:
+        result = entry.run(**kwargs)
+    return {"result": result, "seconds": timer.seconds}
 
 
 def measure_engine_throughput(

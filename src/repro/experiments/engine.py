@@ -196,12 +196,19 @@ class EngineSession:
                     initializer=_worker_init,
                     initargs=(self._context, telemetry.enabled),
                 )
-            except Exception:
-                # Restricted environments (no process spawning, missing
-                # POSIX semaphores) land here; degrade to sequential.
+            except (OSError, RuntimeError, ImportError,
+                    NotImplementedError) as error:
+                # Restricted environments land here: no process spawning
+                # (PermissionError/OSError), missing POSIX semaphores
+                # (OSError/ImportError from _multiprocessing), or start
+                # methods the platform refuses (RuntimeError /
+                # NotImplementedError).  Degrade to sequential.
                 self._pool_failed = True
                 engine.used_fallback = True
-                telemetry.count("engine.fallback")
+                telemetry.count("engine.pool_fallbacks")
+                telemetry.count(
+                    "engine.pool_fallbacks", reason=type(error).__name__
+                )
                 return None
             telemetry.set_gauge("engine.workers", engine.workers)
         return self._pool

@@ -26,7 +26,14 @@ or from the CLI: ``repro-experiments run table2 --telemetry
 --telemetry-out t.json`` then ``repro-experiments report t.json``.
 """
 
-from repro.telemetry.core import SpanNode, Telemetry, get_telemetry, traced
+from repro.telemetry.core import (
+    SpanNode,
+    Stopwatch,
+    Telemetry,
+    get_telemetry,
+    stopwatch,
+    traced,
+)
 from repro.telemetry.manifest import (
     MANIFEST_VERSION,
     build_manifest,
@@ -56,6 +63,7 @@ __all__ = [
     "MANIFEST_VERSION",
     "MetricRegistry",
     "SpanNode",
+    "Stopwatch",
     "Telemetry",
     "build_manifest",
     "format_metrics",
@@ -67,6 +75,7 @@ __all__ = [
     "metric_key",
     "read_manifest",
     "render_telemetry",
+    "stopwatch",
     "traced",
     "write_manifest",
 ]

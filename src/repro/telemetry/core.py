@@ -126,6 +126,42 @@ class _ActiveSpan:
         return False
 
 
+class Stopwatch:
+    """Context manager measuring one wall-clock interval.
+
+    The telemetry-sanctioned way to time something that is *displayed*
+    rather than aggregated into the span tree (CLI elapsed readouts,
+    benchmark baselines).  Keeping every clock read inside
+    ``repro.telemetry`` is an invariant reprolint rule R004 enforces::
+
+        with stopwatch() as timer:
+            result = run()
+        print(f"finished in {timer.seconds:.1f} s")
+
+    Attributes:
+        seconds: elapsed wall-clock seconds, valid after the block exits.
+    """
+
+    __slots__ = ("seconds", "_started")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.seconds = time.perf_counter() - self._started
+        return False
+
+
+def stopwatch() -> Stopwatch:
+    """A fresh :class:`Stopwatch` (always live, independent of spans)."""
+    return Stopwatch()
+
+
 class Telemetry:
     """Process-wide observability state: span tree plus metric registry.
 

@@ -30,7 +30,7 @@ def host_info() -> Dict[str, str]:
     try:
         import numpy
         numpy_version = numpy.__version__
-    except Exception:  # pragma: no cover - numpy is a hard dependency
+    except (ImportError, AttributeError):  # pragma: no cover - numpy is a hard dependency
         numpy_version = "unavailable"
     return {
         "python": sys.version.split()[0],

@@ -3,8 +3,10 @@
 The registry keys every instrument by ``name{label=value,...}`` — e.g.
 ``detector.decisions{verdict=emulated}`` — so per-dimension counts come
 for free.  Histograms keep a bounded reservoir (Vitter's algorithm R
-with a fixed-seed generator, so runs stay reproducible) plus exact
-count/sum/min/max, and report p50/p95/p99 on demand.
+driven by a splitmix64 hash of the observation index, so replacement
+decisions are a pure function of the seed and how many values arrived —
+no RNG state, bit-reproducible across serial and worker-pool runs) plus
+exact count/sum/min/max, and report p50/p95/p99 on demand.
 
 Everything here is stdlib-only so the no-op fast path costs nothing to
 import.
@@ -12,13 +14,25 @@ import.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
 #: Default reservoir capacity of a streaming histogram.
 DEFAULT_RESERVOIR_SIZE = 4096
+
+#: Fixed hash seed for reservoir replacement decisions.
+RESERVOIR_HASH_SEED = 0x5EED
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 mixing round: a deterministic 64-bit hash."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
 
 
 def metric_key(name: str, labels: Mapping[str, Any]) -> str:
@@ -66,11 +80,15 @@ class Histogram:
 
     Count, sum, min, and max are exact; percentiles are computed from a
     uniform reservoir sample of at most ``reservoir_size`` values, which
-    is exact until the reservoir overflows.
+    is exact until the reservoir overflows.  Once it does, the slot a
+    new value lands in is ``splitmix64(seed ^ index) % index`` —
+    deterministic in the observation index alone, so identical value
+    streams always produce identical reservoirs (and identical
+    p50/p95/p99) with no RNG state to carry across process boundaries.
     """
 
     __slots__ = ("key", "count", "total", "minimum", "maximum",
-                 "_reservoir", "_capacity", "_rng")
+                 "_reservoir", "_capacity", "_hash_seed")
 
     def __init__(self, key: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
         if reservoir_size < 1:
@@ -82,7 +100,7 @@ class Histogram:
         self.maximum: Optional[float] = None
         self._reservoir: List[float] = []
         self._capacity = reservoir_size
-        self._rng = random.Random(0x5EED)
+        self._hash_seed = RESERVOIR_HASH_SEED
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -96,7 +114,7 @@ class Histogram:
         if len(self._reservoir) < self._capacity:
             self._reservoir.append(value)
         else:
-            slot = self._rng.randrange(self.count)
+            slot = _splitmix64(self._hash_seed ^ self.count) % self.count
             if slot < self._capacity:
                 self._reservoir[slot] = value
 

@@ -95,3 +95,23 @@ class TestCli:
 
         assert main(["run", "table1", "--seed", "1", "--telemetry"]) == 0
         assert not get_telemetry().enabled
+
+
+class TestLintSubcommand:
+    def test_lint_flags_violations(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" in out and "R006" in out

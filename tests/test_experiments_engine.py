@@ -161,6 +161,39 @@ class TestFallback:
         with MonteCarloEngine().session({"gain": 1.0}) as session:
             assert results == session.run(_draw_trial, 9, rng=2, static_args=(1.0,))
 
+    def test_pool_fallback_increments_telemetry_counter(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process spawning in this sandbox")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", broken_pool)
+        telemetry = get_telemetry()
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            engine = MonteCarloEngine(workers=4)
+            with engine.session({"gain": 1.0}) as session:
+                session.run(_draw_trial, 4, rng=2, static_args=(1.0,))
+                # A second run reuses the failed-pool decision and must
+                # not double count the degradation event.
+                session.run(_draw_trial, 4, rng=3, static_args=(1.0,))
+            counters = telemetry.registry.counters
+            assert counters["engine.pool_fallbacks"].value == 1
+            assert counters["engine.pool_fallbacks{reason=OSError}"].value == 1
+        finally:
+            telemetry.reset()
+            telemetry.disable()
+
+    def test_unexpected_pool_errors_propagate(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise TypeError("a bug, not a restricted environment")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", broken_pool)
+        engine = MonteCarloEngine(workers=4)
+        with engine.session({"gain": 1.0}) as session:
+            with pytest.raises(TypeError):
+                session.run(_draw_trial, 4, rng=2, static_args=(1.0,))
+        assert not engine.used_fallback
+
 
 class TestMergePrimitives:
     def test_span_node_merge_dict_accumulates(self):

@@ -21,6 +21,18 @@ from repro.experiments.registry import experiment_ids, get_experiment
 from repro.telemetry import get_telemetry, stopwatch
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts an integer or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -38,13 +50,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trials", type=int, default=None,
                      help="override trial/waveform count where applicable")
     run.add_argument("--seed", type=int, default=0, help="RNG seed")
-    run.add_argument("--workers", type=int, default=None,
+    run.add_argument("--workers", type=_workers_arg, default=None,
                      help="Monte Carlo engine worker processes for "
-                          "engine-backed experiments (default: serial; "
-                          "results are identical either way at a seed)")
+                          "engine-backed experiments, or 'auto' for the "
+                          "host CPU count (default: serial; results are "
+                          "identical either way at a seed)")
     run.add_argument("--chunk-size", type=int, default=None,
                      help="trials per engine dispatch (default: derived "
                           "from the trial count and worker count)")
+    run.add_argument("--on-error", choices=("raise", "retry", "skip"),
+                     default="raise",
+                     help="trial-failure policy for engine-backed "
+                          "experiments: raise (default), retry with the "
+                          "same seed, or skip and record the failure")
+    run.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                     help="persist each completed sweep point atomically "
+                          "under DIR so an interrupted run can resume")
+    run.add_argument("--resume", action="store_true",
+                     help="skip sweep points already checkpointed under "
+                          "--checkpoint-dir (requires --checkpoint-dir)")
     run.add_argument("--save", metavar="DIR", default=None,
                      help="also write <id>.csv (rows), <id>.npz (series), "
                           "and <id>.manifest.json (provenance)")
@@ -74,7 +98,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--experiment", default="table2",
                        help="engine-backed experiment id (default: table2)")
     bench.add_argument("--trials", type=int, default=200)
-    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--workers", type=int, default=None,
+                       help="parallel-leg worker count "
+                            "(default: min(4, host CPUs))")
     bench.add_argument("--chunk-size", type=int, default=None)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default=None,
@@ -249,8 +275,11 @@ def _run_one(
     seed: int,
     save_dir: Optional[str] = None,
     as_json: bool = False,
-    workers: Optional[int] = None,
+    workers: Any = None,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> None:
     telemetry = get_telemetry()
     entry = get_experiment(experiment_id)
@@ -270,6 +299,11 @@ def _run_one(
         kwargs["workers"] = workers
     if chunk_size is not None and "chunk_size" in parameters:
         kwargs["chunk_size"] = chunk_size
+    if on_error != "raise" and "on_error" in parameters:
+        kwargs["on_error"] = on_error
+    if checkpoint_dir is not None and "checkpoint_dir" in parameters:
+        kwargs["checkpoint_dir"] = checkpoint_dir
+        kwargs["resume"] = resume
     with stopwatch() as timer:
         with telemetry.span(f"experiment.{experiment_id}"):
             result = entry.run(**kwargs)
@@ -282,7 +316,8 @@ def _run_one(
     result.attach_manifest(
         seed=seed,
         config={"trials": trials, "workers": workers,
-                "chunk_size": chunk_size,
+                "chunk_size": chunk_size, "on_error": on_error,
+                "checkpoint_dir": checkpoint_dir, "resume": resume,
                 "elapsed_seconds": round(elapsed, 3)},
         span_tree=span_tree,
     )
@@ -367,6 +402,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             _generate_report(args.path, args.trials, args.seed)
         return 0
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     use_telemetry = args.telemetry or args.telemetry_out is not None
     if use_telemetry:
@@ -377,7 +415,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment_id in targets:
             _run_one(experiment_id, args.trials, args.seed,
                      save_dir=args.save, as_json=args.json,
-                     workers=args.workers, chunk_size=args.chunk_size)
+                     workers=args.workers, chunk_size=args.chunk_size,
+                     on_error=args.on_error,
+                     checkpoint_dir=args.checkpoint_dir,
+                     resume=args.resume)
     finally:
         if use_telemetry:
             _finish_telemetry(args, targets)

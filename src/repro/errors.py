@@ -38,3 +38,22 @@ class EmulationError(ReproError):
 
 class DetectionError(ReproError):
     """The defensive detector could not produce a decision."""
+
+
+class TrialExecutionError(ReproError):
+    """A Monte Carlo trial raised and the engine policy does not skip.
+
+    Carries the structured :class:`repro.experiments.engine.TrialFailure`
+    record on :attr:`failure` — including the original traceback text,
+    which survives process boundaries where the raising exception object
+    may not unpickle.
+    """
+
+    def __init__(self, failure):
+        self.failure = failure
+        super().__init__(
+            f"trial {failure.trial_index} (seed {failure.seed}) raised "
+            f"{failure.exception_type} after {failure.attempts} attempt(s): "
+            f"{failure.message}\n--- original traceback ---\n"
+            f"{failure.traceback}"
+        )

@@ -9,7 +9,10 @@ trajectory to regress against::
     repro-experiments bench-engine --trials 200 --workers 4
 
 The baseline intentionally records the host's CPU count: a speedup close
-to 1.0 on a single-core container is expected, not a regression.
+to 1.0 on a single-core container is expected, not a regression — and
+the parallel leg defaults to ``min(4, host CPUs)`` workers so a 1-CPU
+host measures an honest 1-worker-vs-serial comparison instead of
+oversubscribing four processes onto one core and calling it a speedup.
 """
 
 from __future__ import annotations
@@ -25,6 +28,11 @@ from repro.telemetry import stopwatch
 DEFAULT_BASELINE_PATH = "BENCH_engine.json"
 
 
+def default_bench_workers() -> int:
+    """Parallel-leg worker count honest for this host: min(4, CPUs)."""
+    return min(4, os.cpu_count() or 1)
+
+
 def _timed_run(entry, **kwargs) -> Dict[str, Any]:
     with stopwatch() as timer:
         result = entry.run(**kwargs)
@@ -34,12 +42,18 @@ def _timed_run(entry, **kwargs) -> Dict[str, Any]:
 def measure_engine_throughput(
     experiment_id: str = "table2",
     trials: int = 200,
-    workers: int = 4,
+    workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     seed: int = 0,
 ) -> Dict[str, Any]:
-    """Serial-vs-parallel wall clock for one engine-backed experiment."""
+    """Serial-vs-parallel wall clock for one engine-backed experiment.
+
+    ``workers=None`` resolves to :func:`default_bench_workers` so the
+    recorded speedup reflects real parallelism on this host.
+    """
     entry = get_experiment(experiment_id)
+    if workers is None:
+        workers = default_bench_workers()
     common = {"rng": seed, "trials": trials}
     serial = _timed_run(entry, **common)
     parallel = _timed_run(
@@ -69,7 +83,7 @@ def write_engine_baseline(
     path: str = DEFAULT_BASELINE_PATH,
     experiment_id: str = "table2",
     trials: int = 200,
-    workers: int = 4,
+    workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     seed: int = 0,
 ) -> Dict[str, Any]:

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.defense.detector import CumulantDetector, DetectionResult
+from repro.experiments.checkpoint import CheckpointStore
 from repro.experiments.common import PreparedLink, transmit_once
 from repro.experiments.engine import EngineSession, MonteCarloEngine
 from repro.utils.rng import RngLike
@@ -149,8 +150,52 @@ def collect_statistics(
     return [sample for sample in samples if sample is not None]
 
 
+def collect_distances(
+    session: EngineSession,
+    link_key: str,
+    snr_db: Optional[float],
+    count: int,
+    rng: RngLike = None,
+    chip_source: str = "quadrature",
+    noise_corrected: bool = False,
+    store: Optional[CheckpointStore] = None,
+    key: Optional[str] = None,
+) -> List[float]:
+    """D_E^2 values for one sweep point, checkpoint-aware.
+
+    The JSON-friendly core of the defense sweeps (Table IV, Fig. 12):
+    given an open ``store`` and a point ``key``, a previously completed
+    point is served from disk (bit-identical — floats round-trip through
+    JSON exactly) and a freshly computed one is persisted atomically
+    before it is returned, so a killed sweep resumes at the first
+    incomplete point.
+    """
+    if store is not None and key is not None:
+        cached = store.get(key)
+        if cached is not None:
+            return [float(value) for value in cached]
+    values = [
+        sample.distance_squared
+        for sample in collect_statistics(
+            None, None, snr_db, count, rng=rng, chip_source=chip_source,
+            noise_corrected=noise_corrected, session=session,
+            link_key=link_key,
+        )
+    ]
+    if store is not None and key is not None:
+        store.save(key, values)
+    return values
+
+
 def mean_distance_squared(samples: Sequence[StatisticSample]) -> float:
     """Average D_E^2 over a sample set (paper's Tables IV and V)."""
     if not samples:
         return float("nan")
     return float(np.mean([s.distance_squared for s in samples]))
+
+
+def mean_or_nan(values: Sequence[float]) -> float:
+    """Average of a value list; NaN for an empty point."""
+    if not len(values):
+        return float("nan")
+    return float(np.mean(values))

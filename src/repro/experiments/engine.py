@@ -24,6 +24,29 @@ into the parent's tree with :meth:`Telemetry.merge_state`, so
 percentile reservoirs merge deterministically but depend on chunking;
 counts, sums, and extrema are exact).
 
+Fault tolerance — long sweeps survive misbehaving trials and dying
+workers instead of discarding hours of completed points:
+
+* **trial isolation** — an exception inside a trial is captured as a
+  structured :class:`TrialFailure` (index, seed, type, traceback) and
+  handled per the engine's ``on_error`` policy: ``"raise"`` (default)
+  surfaces it as :class:`~repro.errors.TrialExecutionError`,
+  ``"retry"`` re-executes the trial up to ``max_retries`` times with a
+  generator rebuilt **from the same seed** (so a recovered transient
+  fault yields the bit-identical row the unfaulted run produces), and
+  ``"skip"`` records the failure and leaves ``None`` in that trial's
+  result slot;
+* **pool-crash recovery** — a worker death (OOM kill, segfault)
+  surfaces as ``BrokenProcessPool`` during result collection; the
+  session keeps every chunk that already completed, rebuilds the pool
+  once, and re-executes only the lost chunks — in the parent process
+  if the rebuild fails too;
+* **fault drills** — set ``REPRO_ENGINE_FAULT_EVERY=N`` to raise an
+  :class:`InjectedFaultError` on the first execution of every trial
+  whose stream seed is divisible by ``N``; with ``on_error="retry"``
+  the sweep must still reproduce the unfaulted rows (CI runs exactly
+  this drill).
+
 Usage::
 
     engine = MonteCarloEngine(workers=4, chunk_size=25)
@@ -33,20 +56,27 @@ Usage::
 
 where ``my_trial(context, static_args, rng)`` is a **module-level**
 (picklable) function returning a picklable value.  ``workers=None`` or
-``1`` runs the same code path in process; if the pool cannot be created
-(restricted sandboxes, missing semaphores) the engine falls back to the
-sequential executor and records it on ``engine.used_fallback``.
+``1`` runs the same code path in process; ``workers="auto"`` resolves
+to the host CPU count; if the pool cannot be created (restricted
+sandboxes, missing semaphores) the engine falls back to the sequential
+executor and records it on ``engine.used_fallback``.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import traceback as traceback_module
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TrialExecutionError
 from repro.telemetry import get_telemetry
 from repro.utils.rng import RngLike, spawn_seeds
 
@@ -58,8 +88,115 @@ TrialFn = Callable[[Dict[str, Any], Tuple[Any, ...], np.random.Generator], Any]
 #: to load-balance uneven trial costs.
 DEFAULT_CHUNKS_PER_WORKER = 4
 
+#: Valid ``on_error`` policies (see :class:`MonteCarloEngine`).
+ON_ERROR_POLICIES = ("raise", "retry", "skip")
+
+#: Exception types captured at the trial-isolation boundary.
+#: Deliberately the root of the ordinary-exception hierarchy: a trial
+#: may raise anything, and the whole point of the ``on_error`` policy is
+#: that the *caller* — not the failing trial — decides what happens
+#: next.  ``KeyboardInterrupt`` / ``SystemExit`` are not ``Exception``
+#: subclasses and still propagate immediately.
+ISOLATED_TRIAL_EXCEPTIONS = (Exception,)
+
+#: Environment variable enabling the fault-injection drill: an integer
+#: ``N`` makes every trial whose stream seed is divisible by ``N`` raise
+#: :class:`InjectedFaultError` on its first execution in each process.
+FAULT_EVERY_ENV = "REPRO_ENGINE_FAULT_EVERY"
+
+#: Exception types that mean "the worker pool died under us" while
+#: collecting results; anything else raised by a future is a real bug
+#: and propagates.
+POOL_CRASH_EXCEPTIONS = (BrokenProcessPool, FuturesTimeoutError)
+
+
+class InjectedFaultError(RuntimeError):
+    """A synthetic trial failure raised by the fault-injection drill."""
+
+
+@dataclass
+class TrialFailure:
+    """Structured record of one trial that raised instead of returning.
+
+    Attributes:
+        trial_index: the trial's position in its ``run`` call.
+        seed: the RNG stream seed the trial was handed.
+        exception_type: class name of the exception (e.g. ``ValueError``).
+        message: ``str(exception)``.
+        traceback: the formatted traceback text, preserved across
+            process boundaries where the live exception object may not
+            unpickle.
+        attempts: executions performed, including retries.
+    """
+
+    trial_index: int
+    seed: int
+    exception_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+
 # Worker-process globals installed by the pool initializer.
 _WORKER_CONTEXT: Optional[Dict[str, Any]] = None
+
+#: Stream seeds already faulted by the drill in this process, so a
+#: retried (or re-executed) trial succeeds — modelling transient faults.
+_FAULTED_SEEDS: set = set()
+
+
+def _maybe_inject_fault(seed: int) -> None:
+    """Raise an :class:`InjectedFaultError` per the drill env variable."""
+    spec = os.environ.get(FAULT_EVERY_ENV)
+    if not spec:
+        return
+    every = int(spec)
+    if every <= 0 or seed % every or seed in _FAULTED_SEEDS:
+        return
+    _FAULTED_SEEDS.add(seed)
+    raise InjectedFaultError(
+        f"fault drill: injected failure for trial seed {seed} "
+        f"({FAULT_EVERY_ENV}={every})"
+    )
+
+
+def _execute_trial(
+    trial: TrialFn,
+    context: Optional[Dict[str, Any]],
+    static_args: Tuple[Any, ...],
+    index: int,
+    seed: int,
+    on_error: str,
+    max_retries: int,
+) -> Tuple[Any, Optional[TrialFailure]]:
+    """Run one trial under the isolation policy.
+
+    Returns ``(value, None)`` on success or ``(None, TrialFailure)``
+    once the policy's attempts are exhausted.  Retries rebuild the
+    generator from the **same seed**, so a trial that recovers from a
+    transient fault returns the bit-identical value of an unfaulted run.
+    """
+    telemetry = get_telemetry()
+    attempts = 1 + (max_retries if on_error == "retry" else 0)
+    failure: Optional[TrialFailure] = None
+    for attempt in range(1, attempts + 1):
+        if attempt > 1:
+            telemetry.count("engine.retries")
+        try:
+            _maybe_inject_fault(seed)
+            return trial(context, static_args, np.random.default_rng(seed)), None
+        except ISOLATED_TRIAL_EXCEPTIONS as error:
+            failure = TrialFailure(
+                trial_index=index,
+                seed=seed,
+                exception_type=type(error).__name__,
+                message=str(error),
+                traceback=traceback_module.format_exc(),
+                attempts=attempt,
+            )
+    telemetry.count("engine.trial_failures")
+    telemetry.count("engine.trial_failures", type=failure.exception_type)
+    return None, failure
 
 
 def _worker_init(context: Dict[str, Any], telemetry_enabled: bool) -> None:
@@ -76,20 +213,28 @@ def _run_chunk(
     trial: TrialFn,
     static_args: Tuple[Any, ...],
     items: Sequence[Tuple[int, int]],
-) -> Tuple[List[Tuple[int, Any]], Optional[Dict[str, Any]]]:
+    on_error: str,
+    max_retries: int,
+) -> Tuple[List[Tuple[int, Any, Optional[TrialFailure]]], Optional[Dict[str, Any]]]:
     """Execute one chunk of ``(trial_index, seed)`` items in a worker.
 
-    Returns the indexed results plus this chunk's telemetry delta (the
-    worker telemetry is reset per chunk so deltas never double count).
+    Returns the indexed outcomes — each ``(index, value, failure)``,
+    with exceptions captured as :class:`TrialFailure` records instead of
+    propagating (a raising trial must not abort the chunk's siblings) —
+    plus this chunk's telemetry delta (the worker telemetry is reset per
+    chunk so deltas never double count).
     """
     telemetry = get_telemetry()
     if telemetry.enabled:
         telemetry.reset()
         telemetry.enable()
-    results = [
-        (index, trial(_WORKER_CONTEXT, static_args, np.random.default_rng(seed)))
-        for index, seed in items
-    ]
+    results = []
+    for index, seed in items:
+        value, failure = _execute_trial(
+            trial, _WORKER_CONTEXT, static_args, index, seed,
+            on_error, max_retries,
+        )
+        results.append((index, value, failure))
     state = telemetry.dump_state() if telemetry.enabled else None
     return results, state
 
@@ -111,6 +256,13 @@ class EngineSession:
     manager.  The pool (when parallel) is created lazily on the first
     :meth:`run` and reused across every sweep point of the experiment,
     so workers deserialize the prepared waveforms exactly once.
+
+    Attributes:
+        failures: every :class:`TrialFailure` observed in this session,
+            in trial order per run — populated under ``on_error="skip"``
+            and (before the raise) for the other policies.
+        pool_rebuilds: worker-pool rebuilds performed after a pool
+            crash (also counted on ``engine.pool_rebuilds``).
     """
 
     def __init__(self, engine: "MonteCarloEngine", context: Dict[str, Any]):
@@ -118,6 +270,8 @@ class EngineSession:
         self._context = context
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_failed = False
+        self.failures: List[TrialFailure] = []
+        self.pool_rebuilds = 0
 
     def __enter__(self) -> "EngineSession":
         return self
@@ -127,9 +281,13 @@ class EngineSession:
         return False
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started."""
+        """Shut down the worker pool, if one was started.
+
+        Queued-but-unstarted chunks are cancelled so an exception or
+        Ctrl-C mid-sweep exits promptly instead of draining the queue.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(cancel_futures=True)
             self._pool = None
 
     # -- execution ----------------------------------------------------
@@ -151,37 +309,169 @@ class EngineSession:
             rng: stream source for this sweep point.
             static_args: per-sweep-point parameters (e.g. the SNR)
                 passed through to every trial unchanged.
+
+        Raises:
+            TrialExecutionError: a trial raised and the engine policy is
+                ``"raise"``, or retries were exhausted under
+                ``"retry"``.  Under ``"skip"`` failed trials yield
+                ``None`` in their result slot and the records accumulate
+                on :attr:`failures`.
         """
         if count < 0:
             raise ConfigurationError("trial count must be non-negative")
         seeds = spawn_seeds(rng, count)
         telemetry = get_telemetry()
         telemetry.count("engine.trials", count)
+        items = list(enumerate(seeds))
+        results: List[Any] = [None] * count
         pool = self._acquire_pool()
         if pool is None:
-            context = self._context
-            return [
-                trial(context, static_args, np.random.default_rng(seed))
-                for seed in seeds
-            ]
-        items = list(enumerate(seeds))
+            self._run_items_in_process(trial, static_args, items, results)
+            return results
+        failures: List[TrialFailure] = []
         chunks = _chunked(items, self._engine.resolve_chunk_size(count))
-        futures = [
-            pool.submit(_run_chunk, trial, static_args, chunk)
-            for chunk in chunks
-        ]
-        results: List[Any] = [None] * count
-        # Collect in submission order so telemetry merges (histogram
-        # reservoir fill) stay deterministic for a fixed chunking.
-        for future in futures:
-            indexed, state = future.result()
-            for index, value in indexed:
-                results[index] = value
-            if state is not None:
-                telemetry.merge_state(state)
+        lost = self._dispatch(pool, trial, static_args, chunks, results, failures)
+        if lost:
+            self._recover_lost_chunks(trial, static_args, lost, results, failures)
+        self._settle_failures(failures)
         return results
 
+    # -- failure handling ---------------------------------------------
+
+    def _settle_failures(self, failures: List[TrialFailure]) -> None:
+        """Record captured failures; raise them unless the policy skips."""
+        if not failures:
+            return
+        failures.sort(key=lambda failure: failure.trial_index)
+        self.failures.extend(failures)
+        if self._engine.on_error != "skip":
+            raise TrialExecutionError(failures[0])
+
+    def _run_items_in_process(
+        self,
+        trial: TrialFn,
+        static_args: Tuple[Any, ...],
+        items: Sequence[Tuple[int, int]],
+        results: List[Any],
+        failures: Optional[List[TrialFailure]] = None,
+    ) -> None:
+        """Sequential executor: same isolation policy, no pool.
+
+        Used for ``workers=1``, the pool-creation fallback, and the
+        re-execution of chunks lost to a pool crash, so every execution
+        path produces identical results *and* identical failure
+        accounting.  With ``failures=None`` a failure settles (and may
+        raise) eagerly — there is no fleet to drain first; recovery
+        passes the run's shared list to defer settling until every lost
+        chunk was re-executed.
+        """
+        engine = self._engine
+        for index, seed in items:
+            value, failure = _execute_trial(
+                trial, self._context, static_args, index, seed,
+                engine.on_error, engine.max_retries,
+            )
+            results[index] = value
+            if failure is not None:
+                if failures is None:
+                    self._settle_failures([failure])
+                else:
+                    failures.append(failure)
+
     # -- pool management ----------------------------------------------
+
+    def _dispatch(
+        self,
+        pool: ProcessPoolExecutor,
+        trial: TrialFn,
+        static_args: Tuple[Any, ...],
+        chunks: List[List[Tuple[int, int]]],
+        results: List[Any],
+        failures: List[TrialFailure],
+    ) -> List[List[Tuple[int, int]]]:
+        """Submit chunks and fold completed results in submission order.
+
+        Returns the chunks whose results were lost to a pool crash
+        (``BrokenProcessPool`` / timeout); chunks that completed before
+        the crash are kept — that is the whole point.
+        """
+        engine = self._engine
+        telemetry = get_telemetry()
+        submitted = []
+        for chunk in chunks:
+            try:
+                future = pool.submit(
+                    _run_chunk, trial, static_args, chunk,
+                    engine.on_error, engine.max_retries,
+                )
+            except POOL_CRASH_EXCEPTIONS:
+                # A pool that died mid-loop rejects new work; treat the
+                # rest of the batch as lost and let recovery rerun it.
+                future = None
+            submitted.append((future, chunk))
+        lost = []
+        # Collect in submission order so telemetry merges (histogram
+        # reservoir fill) stay deterministic for a fixed chunking.
+        for future, chunk in submitted:
+            if future is None:
+                lost.append(chunk)
+                continue
+            try:
+                indexed, state = future.result()
+            except POOL_CRASH_EXCEPTIONS:
+                lost.append(chunk)
+                continue
+            for index, value, failure in indexed:
+                results[index] = value
+                if failure is not None:
+                    failures.append(failure)
+            if state is not None:
+                telemetry.merge_state(state)
+        return lost
+
+    def _recover_lost_chunks(
+        self,
+        trial: TrialFn,
+        static_args: Tuple[Any, ...],
+        lost: List[List[Tuple[int, int]]],
+        results: List[Any],
+        failures: List[TrialFailure],
+    ) -> None:
+        """Re-execute chunks lost to a pool crash; completed ones stay.
+
+        The pool is rebuilt once; if the rebuild fails or the rebuilt
+        pool dies too, the remaining chunks run sequentially in the
+        parent (and the session stops using pools altogether).
+        """
+        telemetry = get_telemetry()
+        self.pool_rebuilds += 1
+        telemetry.count("engine.pool_rebuilds")
+        telemetry.count(
+            "engine.trials_reexecuted", sum(len(chunk) for chunk in lost)
+        )
+        rebuilt = self._rebuild_pool()
+        if rebuilt is not None:
+            lost = self._dispatch(
+                rebuilt, trial, static_args, lost, results, failures
+            )
+            if lost:
+                # The rebuilt pool died as well — stop trusting pools
+                # for the rest of this session.
+                self.close()
+                self._pool_failed = True
+                self._engine.used_fallback = True
+        for chunk in lost:
+            self._run_items_in_process(
+                trial, static_args, chunk, results, failures
+            )
+
+    def _rebuild_pool(self) -> Optional[ProcessPoolExecutor]:
+        """Replace a crashed pool; ``None`` when recreation fails too."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(cancel_futures=True)
+        return self._acquire_pool()
 
     def _acquire_pool(self) -> Optional[ProcessPoolExecutor]:
         """The session's pool, or ``None`` when running sequentially."""
@@ -190,6 +480,15 @@ class EngineSession:
             return None
         if self._pool is None:
             telemetry = get_telemetry()
+            host_cpus = os.cpu_count() or 1
+            if engine.workers > host_cpus:
+                warnings.warn(
+                    f"MonteCarloEngine workers={engine.workers} exceeds "
+                    f"the host's {host_cpus} CPU(s); expect no further "
+                    f"speedup (pass workers='auto' to match the host)",
+                    RuntimeWarning,
+                )
+                telemetry.count("engine.worker_oversubscription")
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=engine.workers,
@@ -215,27 +514,53 @@ class EngineSession:
 
 
 class MonteCarloEngine:
-    """Policy object: how many workers, how big the chunks.
+    """Policy object: workers, chunking, and failure handling.
 
     Attributes:
         workers: worker process count; ``None`` or ``1`` selects the
             in-process sequential executor (the default — experiments
-            stay dependency- and fork-free unless asked).
+            stay dependency- and fork-free unless asked); ``"auto"``
+            resolves to the host CPU count.
         chunk_size: trials per dispatched chunk; ``None`` derives
             ``ceil(count / (workers * DEFAULT_CHUNKS_PER_WORKER))``.
+        on_error: trial-failure policy — ``"raise"`` (default) turns
+            the first failure into :class:`TrialExecutionError`,
+            ``"retry"`` re-runs a failing trial up to ``max_retries``
+            times from the same seed before raising, ``"skip"`` records
+            the failure and leaves ``None`` in the result slot.
+        max_retries: bounded re-executions per trial under ``"retry"``.
         used_fallback: set when a parallel run degraded to sequential
-            because the process pool could not be created.
+            because the process pool could not be created (or died and
+            could not be rebuilt).
     """
 
     def __init__(
-        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+        self,
+        workers: Union[int, str, None] = None,
+        chunk_size: Optional[int] = None,
+        on_error: str = "raise",
+        max_retries: int = 2,
     ):
+        if workers == "auto":
+            workers = os.cpu_count() or 1
+        elif isinstance(workers, str):
+            raise ConfigurationError(
+                f"workers must be an int, None, or 'auto', not {workers!r}"
+            )
         if workers is not None and workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        if on_error not in ON_ERROR_POLICIES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, not {on_error!r}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
         self.workers = int(workers) if workers else 1
         self.chunk_size = chunk_size
+        self.on_error = on_error
+        self.max_retries = int(max_retries)
         self.used_fallback = False
 
     def resolve_chunk_size(self, count: int) -> int:

@@ -15,8 +15,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.defense.detector import CumulantDetector, calibrate_threshold
+from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
-from repro.experiments.defense_common import collect_statistics, defense_receiver
+from repro.experiments.defense_common import collect_distances, defense_receiver
 from repro.experiments.engine import MonteCarloEngine
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
@@ -28,9 +29,23 @@ def run(
     rng: RngLike = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
-    """Calibrate Q on training waveforms and evaluate on held-out ones."""
+    """Calibrate Q on training waveforms and evaluate on held-out ones.
+
+    Checkpointing persists each (SNR, split, class) collection point;
+    the threshold and the table rows are cheap reductions recomputed
+    from the (possibly resumed) points every run.
+    """
     snrs = list(snrs_db)
+    store = open_checkpoint_store(checkpoint_dir, "fig12", fingerprint={
+        "seed": rng if isinstance(rng, int) else None,
+        "train_per_class": train_per_class,
+        "test_per_class": test_per_class,
+        "snrs_db": [float(snr) for snr in snrs],
+    }, resume=resume)
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, 4 * len(snrs))
     context = {
@@ -40,29 +55,32 @@ def run(
         "detector": CumulantDetector(),
     }
 
-    def gather(session, link_key, snr, count, point_rng):
-        return [
-            s.distance_squared
-            for s in collect_statistics(
-                None, None, snr, count, rng=point_rng,
-                session=session, link_key=link_key,
-            )
-        ]
-
     train_zigbee, train_emulated = [], []
     test_sets = {}
-    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    engine = MonteCarloEngine(
+        workers=workers, chunk_size=chunk_size, on_error=on_error
+    )
     with engine.session(context) as session:
         for i, snr in enumerate(snrs):
-            train_zigbee.extend(
-                gather(session, "zigbee", snr, train_per_class, rngs[4 * i])
-            )
-            train_emulated.extend(
-                gather(session, "emulated", snr, train_per_class, rngs[4 * i + 1])
-            )
+            train_zigbee.extend(collect_distances(
+                session, "zigbee", snr, train_per_class, rng=rngs[4 * i],
+                store=store, key=f"snr{snr:g}.train.zigbee",
+            ))
+            train_emulated.extend(collect_distances(
+                session, "emulated", snr, train_per_class, rng=rngs[4 * i + 1],
+                store=store, key=f"snr{snr:g}.train.emulated",
+            ))
             test_sets[snr] = (
-                gather(session, "zigbee", snr, test_per_class, rngs[4 * i + 2]),
-                gather(session, "emulated", snr, test_per_class, rngs[4 * i + 3]),
+                collect_distances(
+                    session, "zigbee", snr, test_per_class,
+                    rng=rngs[4 * i + 2],
+                    store=store, key=f"snr{snr:g}.test.zigbee",
+                ),
+                collect_distances(
+                    session, "emulated", snr, test_per_class,
+                    rng=rngs[4 * i + 3],
+                    store=store, key=f"snr{snr:g}.test.emulated",
+                ),
             )
 
     threshold = calibrate_threshold(train_zigbee, train_emulated)

@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.environment import RealEnvironment
+from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic
 from repro.experiments.engine import MonteCarloEngine
 from repro.hardware.rssi import RssiEstimator
@@ -41,9 +42,21 @@ def run(
     rng: RngLike = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
-    """RSSI vs distance, analytic and measured."""
+    """RSSI vs distance, analytic and measured.
+
+    ``checkpoint_dir``/``resume`` persist (and skip) completed distance
+    rows; ``on_error`` selects the engine's trial-failure policy.
+    """
     distances = list(distances_m)
+    store = open_checkpoint_store(checkpoint_dir, "fig13", fingerprint={
+        "seed": rng if isinstance(rng, int) else None,
+        "packets_per_point": packets_per_point,
+        "distances_m": [float(d) for d in distances],
+    }, resume=resume)
     env = RealEnvironment(rng=0)
     # Calibrate the estimator so unit sample power corresponds to the
     # transmit power at the reference distance: the channel pipeline
@@ -64,22 +77,39 @@ def run(
     )
     deterministic_budget = replace(env.budget, shadowing_sigma_db=0.0)
     rngs = spawn_rngs(rng, len(distances))
-    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    engine = MonteCarloEngine(
+        workers=workers, chunk_size=chunk_size, on_error=on_error
+    )
     with engine.session(context) as session:
         for i, distance in enumerate(distances):
-            mean_rx_dbm = float(deterministic_budget.received_power_dbm(distance))
-            readings = session.run(
-                _rssi_trial,
-                packets_per_point,
-                rng=rngs[i],
-                static_args=(distance, mean_rx_dbm),
-            )
-            result.add_row(
-                distance_m=distance,
-                budget_rssi_dbm=estimator.estimate_from_power_dbm(mean_rx_dbm),
-                measured_rssi_dbm=float(np.mean(readings)),
-                fading_spread_db=float(np.max(readings) - np.min(readings)),
-            )
+            point_key = f"d{distance:g}"
+            row = store.get(point_key) if store is not None else None
+            if row is None:
+                mean_rx_dbm = float(
+                    deterministic_budget.received_power_dbm(distance)
+                )
+                readings = [
+                    r for r in session.run(
+                        _rssi_trial,
+                        packets_per_point,
+                        rng=rngs[i],
+                        static_args=(distance, mean_rx_dbm),
+                    )
+                    if r is not None
+                ]
+                row = {
+                    "distance_m": distance,
+                    "budget_rssi_dbm": estimator.estimate_from_power_dbm(
+                        mean_rx_dbm
+                    ),
+                    "measured_rssi_dbm": float(np.mean(readings)),
+                    "fading_spread_db": float(
+                        np.max(readings) - np.min(readings)
+                    ),
+                }
+                if store is not None:
+                    store.save(point_key, row)
+            result.add_row(**row)
     result.notes.append(
         "measured = link-budget mean plus per-packet fading/noise deviation "
         "over the standard 8-symbol RSSI window"

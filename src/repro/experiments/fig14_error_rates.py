@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.channel.environment import RealEnvironment
 from repro.errors import SynchronizationError
+from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import (
     ExperimentResult,
     packet_delivered,
@@ -68,9 +69,22 @@ def run(
     rng: RngLike = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
-    """Error-rate sweep over distance for both receivers and waveforms."""
+    """Error-rate sweep over distance for both receivers and waveforms.
+
+    ``checkpoint_dir``/``resume`` persist (and skip) each completed
+    (distance, receiver, waveform) cell; ``on_error`` selects the
+    engine's trial-failure policy.
+    """
     distances = list(distances_m)
+    store = open_checkpoint_store(checkpoint_dir, "fig14", fingerprint={
+        "seed": rng if isinstance(rng, int) else None,
+        "trials": trials,
+        "distances_m": [float(d) for d in distances],
+    }, resume=resume)
     base = ensure_rng(rng)
     env = RealEnvironment(rng=0)
     losses = {
@@ -106,34 +120,42 @@ def run(
     # Reported SNR/RSSI columns use the shadowing-free budget mean; the
     # per-trial channels still draw shadowing from their own streams.
     mean_budget = replace(env.budget, shadowing_sigma_db=0.0)
-    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    engine = MonteCarloEngine(
+        workers=workers, chunk_size=chunk_size, on_error=on_error
+    )
     with engine.session(context) as session:
         for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
-            outcomes = session.run(
-                _link_trial,
-                trials,
-                rng=cell_rng,
-                static_args=(label, rx_name, distance, losses[rx_name]),
-            )
-            accumulator = ErrorRateAccumulator()
-            truth = context[label].sent.symbols[12:]
-            for outcome in outcomes:
-                if outcome is None:
-                    accumulator.record_lost(truth.size)
-                    continue
-                decoded, delivered, hamming = outcome
-                accumulator.record(truth, decoded, delivered, hamming)
-            result.add_row(
-                distance_m=distance,
-                receiver=rx_name,
-                waveform=label,
-                packet_error_rate=accumulator.packet_error_rate,
-                symbol_error_rate=accumulator.symbol_error_rate,
-                snr_db=float(mean_budget.snr_db(distance)),
-                rssi_dbm=rssi.estimate_from_power_dbm(
-                    float(mean_budget.received_power_dbm(distance))
-                ),
-            )
+            cell_key = f"d{distance:g}.{rx_name}.{label}"
+            row = store.get(cell_key) if store is not None else None
+            if row is None:
+                outcomes = session.run(
+                    _link_trial,
+                    trials,
+                    rng=cell_rng,
+                    static_args=(label, rx_name, distance, losses[rx_name]),
+                )
+                accumulator = ErrorRateAccumulator()
+                truth = context[label].sent.symbols[12:]
+                for outcome in outcomes:
+                    if outcome is None:
+                        accumulator.record_lost(truth.size)
+                        continue
+                    decoded, delivered, hamming = outcome
+                    accumulator.record(truth, decoded, delivered, hamming)
+                row = {
+                    "distance_m": distance,
+                    "receiver": rx_name,
+                    "waveform": label,
+                    "packet_error_rate": accumulator.packet_error_rate,
+                    "symbol_error_rate": accumulator.symbol_error_rate,
+                    "snr_db": float(mean_budget.snr_db(distance)),
+                    "rssi_dbm": rssi.estimate_from_power_dbm(
+                        float(mean_budget.received_power_dbm(distance))
+                    ),
+                }
+                if store is not None:
+                    store.save(cell_key, row)
+            result.add_row(**row)
     result.notes.append(
         "USRP profile: quadrature demodulation + implementation loss; "
         "CC26x2 profile: coherent correlator (the paper's 'stronger "

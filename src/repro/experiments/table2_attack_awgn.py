@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.defense.detector import CumulantDetector
+from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import (
     ExperimentResult,
     packet_delivered,
@@ -75,6 +76,9 @@ def run(
     rng: RngLike = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Sweep attack success rate over SNR.
 
@@ -88,8 +92,19 @@ def run(
         rng: randomness for noise realizations.
         workers: Monte Carlo engine worker processes (default: serial).
         chunk_size: trials per engine dispatch (default: derived).
+        on_error: engine trial-failure policy (``raise``/``retry``/``skip``).
+        checkpoint_dir: persist each completed SNR point atomically.
+        resume: skip SNR points already completed under
+            ``checkpoint_dir`` (requires the same integer seed/params).
     """
     snrs = list(snrs_db)
+    store = open_checkpoint_store(checkpoint_dir, "table2", fingerprint={
+        "seed": rng if isinstance(rng, int) else None,
+        "trials": trials,
+        "snrs_db": [float(snr) for snr in snrs],
+        "include_authentic": include_authentic,
+        "screen_defense": screen_defense,
+    }, resume=resume)
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, len(snrs) * 2)
     # Seed the emulation (filler subcarriers) from the same base — drawn
@@ -111,12 +126,20 @@ def run(
         title="Table II: emulation attack performance under AWGN",
         columns=columns,
     )
-    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    engine = MonteCarloEngine(
+        workers=workers, chunk_size=chunk_size, on_error=on_error
+    )
     with engine.session(context) as session:
         for i, snr in enumerate(snrs):
+            point_key = f"snr{snr:g}"
+            cached = store.get(point_key) if store is not None else None
+            if cached is not None:
+                result.add_row(**cached)
+                continue
             outcomes = session.run(
                 _emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
             )
+            outcomes = [o for o in outcomes if o is not None]
             successes = sum(delivered for delivered, _, _ in outcomes)
             screened = sum(was_screened for _, was_screened, _ in outcomes)
             detections = sum(detected for _, _, detected in outcomes)
@@ -136,7 +159,11 @@ def run(
                     _authentic_trial, trials, rng=rngs[2 * i + 1],
                     static_args=(snr,),
                 )
-                row["authentic_success_rate"] = sum(delivered) / trials
+                row["authentic_success_rate"] = (
+                    sum(d for d in delivered if d is not None) / trials
+                )
+            if store is not None:
+                store.save(point_key, row)
             result.add_row(**row)
     result.notes.append(
         "receiver: GNU-Radio-style profile (quadrature demod, naive decimation) "

@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.defense.detector import CumulantDetector
+from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
 from repro.experiments.defense_common import (
-    collect_statistics,
+    collect_distances,
     defense_receiver,
-    mean_distance_squared,
+    mean_or_nan,
 )
 from repro.experiments.engine import MonteCarloEngine
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -35,6 +36,9 @@ def run(
     rng: RngLike = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Average D_E^2 per class per SNR.
 
@@ -45,8 +49,17 @@ def run(
         rng: noise randomness.
         workers: Monte Carlo engine worker processes (default: serial).
         chunk_size: trials per engine dispatch (default: derived).
+        on_error: engine trial-failure policy (``raise``/``retry``/``skip``).
+        checkpoint_dir: persist each completed (SNR, class) point.
+        resume: skip points already completed under ``checkpoint_dir``.
     """
     snrs = list(snrs_db)
+    store = open_checkpoint_store(checkpoint_dir, "table4", fingerprint={
+        "seed": rng if isinstance(rng, int) else None,
+        "waveforms_per_point": waveforms_per_point,
+        "snrs_db": [float(snr) for snr in snrs],
+        "chip_source": chip_source,
+    }, resume=resume)
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, 2 * len(snrs))
     context = {
@@ -63,21 +76,23 @@ def run(
             "paper_zigbee_de2", "paper_emulated_de2", "separation_factor",
         ],
     )
-    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    engine = MonteCarloEngine(
+        workers=workers, chunk_size=chunk_size, on_error=on_error
+    )
     with engine.session(context) as session:
         for i, snr in enumerate(snrs):
-            zigbee_stats = collect_statistics(
-                None, None, snr, waveforms_per_point,
+            zigbee_values = collect_distances(
+                session, "zigbee", snr, waveforms_per_point,
                 rng=rngs[2 * i], chip_source=chip_source,
-                session=session, link_key="zigbee",
+                store=store, key=f"snr{snr:g}.zigbee",
             )
-            emulated_stats = collect_statistics(
-                None, None, snr, waveforms_per_point,
+            emulated_values = collect_distances(
+                session, "emulated", snr, waveforms_per_point,
                 rng=rngs[2 * i + 1], chip_source=chip_source,
-                session=session, link_key="emulated",
+                store=store, key=f"snr{snr:g}.emulated",
             )
-            zigbee_mean = mean_distance_squared(zigbee_stats)
-            emulated_mean = mean_distance_squared(emulated_stats)
+            zigbee_mean = mean_or_nan(zigbee_values)
+            emulated_mean = mean_or_nan(emulated_values)
             paper = PAPER_TABLE4.get(int(snr), (float("nan"), float("nan")))
             result.add_row(
                 snr_db=snr,

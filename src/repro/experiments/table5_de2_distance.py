@@ -23,6 +23,7 @@ import numpy as np
 from repro.channel.environment import RealEnvironment
 from repro.defense.detector import CumulantDetector
 from repro.errors import SynchronizationError
+from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import (
     ExperimentResult,
     prepare_authentic,
@@ -32,6 +33,7 @@ from repro.experiments.defense_common import (
     chip_noise_variance_for,
     defense_receiver,
     extract_chips,
+    mean_or_nan,
 )
 from repro.experiments.engine import MonteCarloEngine
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -82,6 +84,9 @@ def run(
     rng: RngLike = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Average D_E^2 per class per distance under the real environment.
 
@@ -89,8 +94,18 @@ def run(
     defense relies on the paper's noise-variance subtraction (Sec. VI-B2)
     over the linear matched-filter chips; without it the statistic of
     *both* classes inflates with distance and the gap closes.
+
+    ``checkpoint_dir``/``resume`` persist (and skip) completed distance
+    rows; ``on_error`` selects the engine's trial-failure policy.
     """
     distances = list(distances_m)
+    store = open_checkpoint_store(checkpoint_dir, "table5", fingerprint={
+        "seed": rng if isinstance(rng, int) else None,
+        "waveforms_per_point": waveforms_per_point,
+        "distances_m": [float(d) for d in distances],
+        "chip_source": chip_source,
+        "noise_corrected": noise_corrected,
+    }, resume=resume)
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, 2 * len(distances))
     env = RealEnvironment(rng=0)
@@ -112,27 +127,35 @@ def run(
     # Reported SNR column uses the shadowing-free budget mean; per-trial
     # channels still draw shadowing from their own streams.
     mean_budget = replace(env.budget, shadowing_sigma_db=0.0)
-    engine = MonteCarloEngine(workers=workers, chunk_size=chunk_size)
+    engine = MonteCarloEngine(
+        workers=workers, chunk_size=chunk_size, on_error=on_error
+    )
     with engine.session(context) as session:
         for i, distance in enumerate(distances):
-            values = {}
-            for j, label in enumerate(("zigbee", "emulated")):
-                outcomes = session.run(
-                    _distance_trial,
-                    waveforms_per_point,
-                    rng=rngs[2 * i + j],
-                    static_args=(label, distance, chip_source, noise_corrected),
-                )
-                values[label] = [v for v in outcomes if v is not None]
-            paper = PAPER_TABLE5.get(int(distance), (float("nan"), float("nan")))
-            result.add_row(
-                distance_m=distance,
-                snr_db=float(mean_budget.snr_db(distance)),
-                zigbee_de2=float(np.mean(values["zigbee"])) if values["zigbee"] else float("nan"),
-                emulated_de2=float(np.mean(values["emulated"])) if values["emulated"] else float("nan"),
-                paper_zigbee_de2=paper[0],
-                paper_emulated_de2=paper[1],
-            )
+            point_key = f"d{distance:g}"
+            row = store.get(point_key) if store is not None else None
+            if row is None:
+                values = {}
+                for j, label in enumerate(("zigbee", "emulated")):
+                    outcomes = session.run(
+                        _distance_trial,
+                        waveforms_per_point,
+                        rng=rngs[2 * i + j],
+                        static_args=(label, distance, chip_source, noise_corrected),
+                    )
+                    values[label] = [v for v in outcomes if v is not None]
+                paper = PAPER_TABLE5.get(int(distance), (float("nan"), float("nan")))
+                row = {
+                    "distance_m": distance,
+                    "snr_db": float(mean_budget.snr_db(distance)),
+                    "zigbee_de2": mean_or_nan(values["zigbee"]),
+                    "emulated_de2": mean_or_nan(values["emulated"]),
+                    "paper_zigbee_de2": paper[0],
+                    "paper_emulated_de2": paper[1],
+                }
+                if store is not None:
+                    store.save(point_key, row)
+            result.add_row(**row)
     result.notes.append(
         "detector uses |C40| (Sec. VI-C) because the real environment adds "
         "random frequency/phase offsets"

@@ -3,13 +3,19 @@
 A tiny interchange format so captures can move between sessions, feed
 external tools, or be replayed later: samples (complex128), sample rate,
 and a free-form metadata dict of strings.
+
+Also home to the crash-safe JSON primitives
+(:func:`atomic_write_json` / :func:`read_json`) the sweep checkpoint
+store builds on: a write-then-rename protocol so a killed process never
+leaves a torn file where a completed result should be.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -19,6 +25,38 @@ from repro.utils.signal_ops import Waveform
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+
+def atomic_write_json(path: PathLike, payload: Any) -> None:
+    """Write ``payload`` as JSON so readers never observe a torn file.
+
+    The document is serialized to ``<path>.tmp`` in the destination
+    directory, flushed, then atomically renamed over ``path``
+    (``os.replace``), so a crash mid-write leaves either the old file or
+    the new one — never a partially written JSON document.  NaN values
+    survive the round trip (Python's ``json`` emits/parses ``NaN``).
+    """
+    target = Path(str(path))
+    staging = target.with_name(target.name + ".tmp")
+    try:
+        with open(staging, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, target)
+    finally:
+        if staging.exists():
+            staging.unlink()
+
+
+def read_json(path: PathLike) -> Any:
+    """Load one JSON document written by :func:`atomic_write_json`."""
+    target = Path(str(path))
+    if not target.exists():
+        raise ConfigurationError(f"no such JSON document: {path}")
+    with open(target) as handle:
+        return json.load(handle)
 
 
 def save_waveform(

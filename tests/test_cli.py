@@ -97,6 +97,38 @@ class TestCli:
         assert not get_telemetry().enabled
 
 
+class TestFaultToleranceFlags:
+    def test_resume_without_checkpoint_dir_is_an_error(self, capsys):
+        assert main(["run", "table1", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_workers_rejects_non_integer_strings(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table2", "--workers", "many"])
+
+    def test_workers_auto_and_on_error_accepted(self, capsys):
+        import json
+
+        assert main(["run", "table2", "--trials", "2", "--seed", "1",
+                     "--workers", "auto", "--on-error", "retry",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["experiment_id"] == "table2"
+
+    def test_checkpoint_then_resume_round_trip(self, tmp_path, capsys):
+        import json
+
+        directory = str(tmp_path / "ckpt")
+        base = ["run", "table2", "--trials", "2", "--seed", "4", "--json",
+                "--checkpoint-dir", directory]
+        assert main(base) == 0
+        first = json.loads(capsys.readouterr().out.strip())
+        assert main(base + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out.strip())
+        assert resumed["rows"] == first["rows"]
+        assert (tmp_path / "ckpt" / "table2" / "meta.json").exists()
+
+
 class TestLintSubcommand:
     def test_lint_flags_violations(self, tmp_path, capsys):
         bad = tmp_path / "repro" / "bad.py"

@@ -63,7 +63,23 @@ class ModuleContext:
             of unseeded generator construction.
         is_telemetry_module: under ``repro/telemetry/`` — the one blessed
             home of raw clock reads.
+        is_cli_module: a ``cli.py`` / ``__main__.py`` entry point, where
+            writing to stdout/stderr is the whole job.
+        is_reporter_module: a designated rendering/sink module (report
+            formatters, terminal plots, event sinks) allowed to own an
+            output stream.
     """
+
+    #: Module paths whose *purpose* is producing user-facing output —
+    #: the blessed homes of print()/stream writes outside CLI entry
+    #: points.  Everything else under ``src/repro`` must return strings
+    #: or route output through :mod:`repro.telemetry.events` sinks.
+    REPORTER_MODULES = (
+        "repro/analysis/reporters.py",
+        "repro/telemetry/report.py",
+        "repro/telemetry/events.py",
+        "repro/utils/terminal_plot.py",
+    )
 
     def __init__(self, path: str, source: str, tree: ast.Module):
         self.path = path.replace("\\", "/")
@@ -83,6 +99,10 @@ class ModuleContext:
         self.is_library = "repro/" in posix and not self.is_test
         self.is_rng_module = posix.endswith("repro/utils/rng.py")
         self.is_telemetry_module = "repro/telemetry/" in posix
+        self.is_cli_module = name in ("cli.py", "__main__.py")
+        self.is_reporter_module = any(
+            posix.endswith(suffix) for suffix in self.REPORTER_MODULES
+        )
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Qualified dotted name of ``node`` through this module's imports."""

@@ -40,6 +40,14 @@ RAW_CLOCK_READS = {
     "time.process_time_ns",
 }
 
+#: Stream write calls that bypass the event-stream/report layer.
+DIRECT_STREAM_WRITES = {
+    "sys.stdout.write",
+    "sys.stdout.writelines",
+    "sys.stderr.write",
+    "sys.stderr.writelines",
+}
+
 #: Parameter names that count as "accepts a seedable stream".
 RNG_PARAMETER_NAMES = {"rng", "rngs", "seed", "seeds"}
 
@@ -525,3 +533,43 @@ class NoSloppyLibraryCode:
                     f"specific exception types this site can handle",
                 )
                 return
+
+
+@rule
+class NoDirectOutput:
+    """R007 — library code never prints or writes stdout/stderr itself."""
+
+    code = "R007"
+    name = "no-direct-output"
+    rationale = (
+        "A print() buried in library code corrupts --json output, "
+        "interleaves garbage into worker-process logs, and is invisible "
+        "to the event stream; user-facing output belongs to CLI entry "
+        "points, report renderers, and telemetry event sinks."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if (
+            not module.is_library
+            or module.is_cli_module
+            or module.is_reporter_module
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield _diag(
+                    module, node, self.code,
+                    "print() in library code; return strings, or emit "
+                    "through repro.telemetry.events sinks",
+                )
+                continue
+            resolved = module.resolve(func)
+            if resolved in DIRECT_STREAM_WRITES:
+                yield _diag(
+                    module, node, self.code,
+                    f"direct stream write '{resolved}()' in library code; "
+                    f"route output through an event sink or a renderer",
+                )

@@ -6,8 +6,13 @@ Examples::
     repro-experiments run table2 --trials 200 --seed 1
     repro-experiments run all --seed 1
     repro-experiments run table2 --telemetry --telemetry-out t.json
+    repro-experiments run table2 --telemetry --live   # live progress line
     repro-experiments report t.json          # render a telemetry file
+    repro-experiments report .repro-runs/<id>  # render a run directory
     repro-experiments run table2 --json      # machine-readable rows
+    repro-experiments runs list              # run-registry history
+    repro-experiments runs tail latest       # replay a run's event stream
+    repro-experiments runs diff A B --gate --max-regression 20%
 """
 
 from __future__ import annotations
@@ -75,9 +80,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="print results as JSON rows instead of tables")
     run.add_argument("--telemetry", action="store_true",
-                     help="record spans/metrics across the run")
+                     help="record spans/metrics across the run and persist "
+                          "a run directory under --runs-dir")
     run.add_argument("--telemetry-out", metavar="FILE", default=None,
                      help="write the telemetry snapshot (implies --telemetry)")
+    run.add_argument("--runs-dir", metavar="DIR", default=None,
+                     help="run-registry root for --telemetry runs "
+                          "(default: .repro-runs)")
+    run.add_argument("--live", action="store_true",
+                     help="render live progress (trials/s, ETA) on stderr "
+                          "while the sweep runs (implies --telemetry)")
 
     dataset = subparsers.add_parser(
         "dataset",
@@ -108,7 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run reprolint, the AST invariant checker (rules R001-R006)",
+        help="run reprolint, the AST invariant checker (rules R001-R007)",
     )
     lint.add_argument("paths", nargs="*", default=["src", "tests"],
                       help="files or directories to lint (default: src tests)")
@@ -123,15 +135,67 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser(
         "report",
-        help="render a saved telemetry file, or (given a fresh output "
-             "path) run every experiment and write a markdown report",
+        help="render a saved telemetry file or run directory, or (given "
+             "a fresh output path) run every experiment and write a "
+             "markdown report",
     )
     report.add_argument("path",
-                        help="telemetry .json to render, or markdown "
-                             "output path to generate")
+                        help="telemetry .json or run directory to render, "
+                             "or markdown output path to generate")
     report.add_argument("--trials", type=int, default=None,
                         help="override per-experiment trial counts")
     report.add_argument("--seed", type=int, default=0)
+
+    runs = subparsers.add_parser(
+        "runs",
+        help="inspect the persistent run registry (.repro-runs/)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_dir_arg(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--runs-dir", metavar="DIR", default=None,
+                         help="run-registry root (default: .repro-runs)")
+
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    _runs_dir_arg(runs_list)
+    runs_list.add_argument("--limit", type=int, default=20,
+                           help="most recent runs to show (default: 20)")
+
+    runs_show = runs_sub.add_parser(
+        "show", help="render one run's manifest, timings, and event summary"
+    )
+    runs_show.add_argument("run",
+                           help="run id, unique prefix, 'latest', or path")
+    _runs_dir_arg(runs_show)
+
+    runs_tail = runs_sub.add_parser(
+        "tail", help="replay (and optionally follow) a run's event stream"
+    )
+    runs_tail.add_argument("run", nargs="?", default="latest",
+                           help="run id, unique prefix, 'latest' (default), "
+                                "or path")
+    runs_tail.add_argument("--follow", action="store_true",
+                           help="keep polling for new events until the run "
+                                "finishes")
+    _runs_dir_arg(runs_tail)
+
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="diff two runs' result rows, counters, and timing trees",
+    )
+    runs_diff.add_argument("run_a", help="baseline run (id, prefix, 'latest', "
+                                         "or a run-directory path)")
+    runs_diff.add_argument("run_b", help="candidate run")
+    runs_diff.add_argument("--gate", action="store_true",
+                           help="exit non-zero on row diffs, failure-counter "
+                                "increases, or wall-clock regressions")
+    runs_diff.add_argument("--max-regression", metavar="PCT", default="20%",
+                           help="allowed wall-clock slowdown before the gate "
+                                "trips (default: 20%%)")
+    runs_diff.add_argument("--no-wallclock", action="store_true",
+                           help="skip wall-clock checks (cross-host "
+                                "baselines)")
+    _runs_dir_arg(runs_diff)
     return parser
 
 
@@ -280,6 +344,7 @@ def _run_one(
     on_error: str = "raise",
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    run_dir: Any = None,
 ) -> None:
     telemetry = get_telemetry()
     entry = get_experiment(experiment_id)
@@ -330,14 +395,57 @@ def _run_one(
         _save_result(result, save_dir)
         if not as_json:
             print(f"[saved {experiment_id} to {save_dir}/]")
+    if run_dir is not None:
+        run_dir.write_rows(result)
     if not as_json:
         print()
 
 
-def _finish_telemetry(args: argparse.Namespace, targets: List[str]) -> None:
-    """Snapshot, annotate, and persist (or print) the run's telemetry."""
-    from repro.telemetry import build_manifest, render_telemetry
+def _start_run_directory(args: argparse.Namespace, targets: List[str]):
+    """Open a run directory and wire the live event stream into it."""
+    from repro.telemetry import (
+        DEFAULT_RUNS_ROOT,
+        FileEventSink,
+        RunRegistry,
+        StderrProgressSink,
+        build_manifest,
+        get_event_stream,
+    )
 
+    registry = RunRegistry(args.runs_dir or DEFAULT_RUNS_ROOT)
+    run = registry.create(targets[0] if len(targets) == 1 else "multi")
+    stream = get_event_stream()
+    stream.reset()
+    stream.add_sink(FileEventSink(run.events_path))
+    if args.live and not args.json:
+        stream.add_sink(StderrProgressSink())
+    stream.enable(run_id=run.run_id)
+    # Written up front with status "running" so a killed run is still
+    # identifiable next to its partial event stream.
+    run.write_manifest(build_manifest(
+        seed=args.seed,
+        config={"trials": args.trials, "workers": args.workers,
+                "chunk_size": args.chunk_size, "on_error": args.on_error},
+        extra={"status": "running", "experiments": targets},
+    ))
+    stream.run_started(experiments=targets, seed=args.seed)
+    return run
+
+
+def _finish_telemetry(
+    args: argparse.Namespace,
+    targets: List[str],
+    run: Any = None,
+    status: str = "ok",
+) -> None:
+    """Snapshot, annotate, and persist (or print) the run's telemetry."""
+    from repro.telemetry import build_manifest, get_event_stream, render_telemetry
+
+    stream = get_event_stream()
+    if run is not None:
+        stream.run_finished(status=status)
+    elapsed = stream.elapsed_seconds if stream.enabled else None
+    stream.reset()
     telemetry = get_telemetry()
     telemetry.disable()
     payload = telemetry.snapshot()
@@ -345,6 +453,17 @@ def _finish_telemetry(args: argparse.Namespace, targets: List[str]) -> None:
         seed=args.seed,
         config={"experiments": targets, "trials": args.trials},
     )
+    if run is not None:
+        run.write_metrics(
+            {"spans": payload["spans"], "metrics": payload["metrics"]}
+        )
+        manifest = run.read_manifest()
+        manifest["status"] = status
+        if elapsed is not None:
+            manifest["elapsed_seconds"] = round(elapsed, 3)
+        run.write_manifest(manifest)
+        print(f"[run directory: {run.path}]",
+              file=sys.stderr if args.json else sys.stdout)
     if args.telemetry_out:
         with open(args.telemetry_out, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -353,12 +472,85 @@ def _finish_telemetry(args: argparse.Namespace, targets: List[str]) -> None:
             print(f"[telemetry written to {args.telemetry_out}]")
     elif not args.json:
         print(render_telemetry(payload))
-    else:
+    elif run is None:
         print(
             "[--json keeps stdout machine-readable; pass --telemetry-out "
             "FILE to keep the recorded telemetry]",
             file=sys.stderr,
         )
+
+
+def _format_run_row(summary: Dict[str, Any]) -> str:
+    """One ``runs list`` line."""
+    experiments = ",".join(summary.get("experiments") or []) or "-"
+    elapsed = summary.get("elapsed_seconds")
+    elapsed_text = (
+        f"{elapsed:8.2f}s" if isinstance(elapsed, (int, float)) else "       -"
+    )
+    return (
+        f"{summary['run_id']:<40s} {summary['status']:<8s} "
+        f"{experiments:<16s} seed={summary.get('seed')!s:<6s} "
+        f"trials={summary.get('trials_done', 0):<7d} "
+        f"failures={summary.get('failures', 0):<4d} {elapsed_text}"
+    )
+
+
+def _runs_command(args: argparse.Namespace) -> int:
+    """Dispatch the ``runs list|show|tail|diff`` subcommands."""
+    import time
+
+    from repro.telemetry import (
+        DEFAULT_RUNS_ROOT,
+        RunRegistry,
+        diff_runs,
+        format_run_diff,
+        parse_percentage,
+        render_run_directory,
+    )
+    from repro.telemetry.events import format_event, read_events_jsonl
+
+    registry = RunRegistry(args.runs_dir or DEFAULT_RUNS_ROOT)
+    if args.runs_command == "list":
+        runs = registry.list()
+        if not runs:
+            print(f"(no runs recorded under {registry.root})")
+            return 0
+        for run in runs[: args.limit]:
+            print(_format_run_row(run.summary()))
+        if len(runs) > args.limit:
+            print(f"... and {len(runs) - args.limit} more "
+                  f"(raise --limit to see them)")
+        return 0
+    if args.runs_command == "show":
+        print(render_run_directory(registry.resolve(args.run)))
+        return 0
+    if args.runs_command == "tail":
+        run = registry.resolve(args.run)
+        shown = 0
+        while True:
+            events = (
+                read_events_jsonl(run.events_path)
+                if run.events_path.exists() else []
+            )
+            for event in events[shown:]:
+                print(format_event(event))
+            shown = len(events)
+            finished = any(
+                event.get("event") == "run_finished" for event in events
+            )
+            if finished or not args.follow:
+                return 0
+            time.sleep(0.5)
+    if args.runs_command == "diff":
+        diff = diff_runs(
+            registry.resolve(args.run_a),
+            registry.resolve(args.run_b),
+            max_regression=parse_percentage(args.max_regression),
+            wallclock=not args.no_wallclock,
+        )
+        print(format_run_diff(diff, gate=args.gate))
+        return 1 if args.gate and not diff.gate_passed else 0
+    raise AssertionError(f"unhandled runs subcommand {args.runs_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -395,22 +587,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[engine baseline written to {out}]")
         return 0 if baseline["rows_identical"] else 1
     if args.command == "report":
-        from repro.telemetry import load_telemetry, render_telemetry
+        import os
 
-        if args.path.endswith(".json"):
+        from repro.telemetry import (
+            RunDirectory,
+            load_telemetry,
+            render_run_directory,
+            render_telemetry,
+        )
+
+        if os.path.isdir(args.path):
+            print(render_run_directory(RunDirectory(args.path)))
+        elif args.path.endswith(".json"):
             print(render_telemetry(load_telemetry(args.path)))
         else:
             _generate_report(args.path, args.trials, args.seed)
         return 0
+    if args.command == "runs":
+        from repro.errors import ConfigurationError
+
+        try:
+            return _runs_command(args)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.resume and args.checkpoint_dir is None:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
-    use_telemetry = args.telemetry or args.telemetry_out is not None
+    use_telemetry = (
+        args.telemetry or args.telemetry_out is not None or args.live
+    )
+    run_dir = None
     if use_telemetry:
         telemetry = get_telemetry()
         telemetry.reset()
         telemetry.enable()
+        run_dir = _start_run_directory(args, targets)
+    # No except clause: a status flag flipped on the last line of the
+    # try-body tells the finalizer whether we exited cleanly, without
+    # swallowing (or even naming) the in-flight exception.
+    status = "error"
     try:
         for experiment_id in targets:
             _run_one(experiment_id, args.trials, args.seed,
@@ -418,10 +635,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                      workers=args.workers, chunk_size=args.chunk_size,
                      on_error=args.on_error,
                      checkpoint_dir=args.checkpoint_dir,
-                     resume=args.resume)
+                     resume=args.resume, run_dir=run_dir)
+        status = "ok"
     finally:
         if use_telemetry:
-            _finish_telemetry(args, targets)
+            _finish_telemetry(args, targets, run=run_dir, status=status)
     return 0
 
 

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
+from datetime import datetime, timezone
 from typing import Any, Dict, Optional
 
 from repro.experiments.registry import get_experiment
-from repro.telemetry import stopwatch
+from repro.telemetry import get_telemetry, git_revision, host_info, stopwatch
 
 #: Default output file, committed at the repository root.
 DEFAULT_BASELINE_PATH = "BENCH_engine.json"
@@ -54,11 +56,34 @@ def measure_engine_throughput(
     entry = get_experiment(experiment_id)
     if workers is None:
         workers = default_bench_workers()
+    host_cpus = os.cpu_count() or 1
+    oversubscribed = workers > host_cpus
+    if oversubscribed:
+        warnings.warn(
+            f"bench-engine workers={workers} exceeds the host's "
+            f"{host_cpus} CPU(s); the recorded speedup is meaningless "
+            f"(processes time-share one core) — drop --workers to use "
+            f"min(4, host CPUs)",
+            RuntimeWarning,
+        )
     common = {"rng": seed, "trials": trials}
-    serial = _timed_run(entry, **common)
-    parallel = _timed_run(
-        entry, workers=workers, chunk_size=chunk_size, **common
-    )
+    # Record engine counters for both legs so the baseline carries the
+    # same failure-class telemetry the run registry gates on.
+    telemetry = get_telemetry()
+    was_enabled = telemetry.enabled
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        serial = _timed_run(entry, **common)
+        parallel = _timed_run(
+            entry, workers=workers, chunk_size=chunk_size, **common
+        )
+        counters = telemetry.registry.snapshot()["counters"]
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+        if was_enabled:
+            telemetry.enable()
     # Row-level equality is the engine's core guarantee; surface any
     # violation in the baseline rather than silently recording timings.
     rows_identical = serial["result"].rows == parallel["result"].rows
@@ -76,6 +101,11 @@ def measure_engine_throughput(
         "parallel_trials_per_second": round(trials / parallel["seconds"], 2),
         "rows_identical": rows_identical,
         "host_cpus": os.cpu_count(),
+        "oversubscribed": oversubscribed,
+        "git_rev": git_revision(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "host": host_info(),
+        "telemetry_counters": counters,
     }
 
 

@@ -41,6 +41,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.telemetry import get_telemetry
+from repro.telemetry.events import get_event_stream
 from repro.utils.io import atomic_write_json, read_json
 
 #: Bumped when the on-disk layout changes incompatibly.
@@ -113,6 +114,11 @@ class CheckpointStore:
         """This sweep's checkpoint subdirectory."""
         return self._directory
 
+    @property
+    def experiment_id(self) -> str:
+        """The sweep this store namespaces."""
+        return self._experiment_id
+
     def _point_path(self, key: str) -> Path:
         slug = _KEY_SLUG.sub("_", key)
         return self._directory / f"{_POINT_PREFIX}{slug}.json"
@@ -122,6 +128,7 @@ class CheckpointStore:
         atomic_write_json(
             self._point_path(key), {"key": key, "payload": payload}
         )
+        get_event_stream().checkpoint_saved(self._experiment_id, key)
 
     def completed(self, key: str) -> bool:
         """Whether a completed point for ``key`` is on disk."""
@@ -141,6 +148,7 @@ class CheckpointStore:
         document = read_json(path)
         self.resumed_keys.append(key)
         get_telemetry().count("engine.points_resumed")
+        get_event_stream().checkpoint_hit(self._experiment_id, key)
         return document["payload"]
 
 

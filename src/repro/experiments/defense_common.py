@@ -18,6 +18,7 @@ from repro.defense.detector import CumulantDetector, DetectionResult
 from repro.experiments.checkpoint import CheckpointStore
 from repro.experiments.common import PreparedLink, transmit_once
 from repro.experiments.engine import EngineSession, MonteCarloEngine
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike
 from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
 
@@ -174,6 +175,10 @@ def collect_distances(
         cached = store.get(key)
         if cached is not None:
             return [float(value) for value in cached]
+    stream = get_event_stream()
+    experiment = store.experiment_id if store is not None else "defense"
+    point = key or f"snr{snr_db!r}.{link_key}"
+    stream.point_started(experiment, point, trials=count)
     values = [
         sample.distance_squared
         for sample in collect_statistics(
@@ -184,6 +189,7 @@ def collect_distances(
     ]
     if store is not None and key is not None:
         store.save(key, values)
+    stream.point_finished(experiment, point, rows_so_far=len(values))
     return values
 
 

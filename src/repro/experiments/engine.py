@@ -24,6 +24,16 @@ into the parent's tree with :meth:`Telemetry.merge_state`, so
 percentile reservoirs merge deterministically but depend on chunking;
 counts, sums, and extrema are exact).
 
+Live events (:mod:`repro.telemetry.events`) are emitted **from the
+parent only**, as chunks complete: per-trial ``trial_retry`` /
+``trial_failure`` records followed by one ``heartbeat`` per chunk, plus
+``pool_rebuild`` / ``pool_fallback`` at the recovery boundaries.  The
+serial path executes in the same chunks as the parallel path (see
+:meth:`MonteCarloEngine.resolve_chunk_size`), so for a fixed explicit
+``chunk_size`` and seed the *sequence of event types* is identical
+serial vs parallel — and the bit-identical-rows guarantee is untouched,
+because emission happens after results are already collected.
+
 Fault tolerance — long sweeps survive misbehaving trials and dying
 workers instead of discarding hours of completed points:
 
@@ -78,6 +88,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, TrialExecutionError
 from repro.telemetry import get_telemetry
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, spawn_seeds
 
 #: A single Monte Carlo trial: ``trial(context, static_args, rng)``.
@@ -168,13 +179,15 @@ def _execute_trial(
     seed: int,
     on_error: str,
     max_retries: int,
-) -> Tuple[Any, Optional[TrialFailure]]:
+) -> Tuple[Any, Optional[TrialFailure], int]:
     """Run one trial under the isolation policy.
 
-    Returns ``(value, None)`` on success or ``(None, TrialFailure)``
-    once the policy's attempts are exhausted.  Retries rebuild the
-    generator from the **same seed**, so a trial that recovers from a
-    transient fault returns the bit-identical value of an unfaulted run.
+    Returns ``(value, None, attempts)`` on success or ``(None,
+    TrialFailure, attempts)`` once the policy's attempts are exhausted —
+    the attempt count lets the parent emit ``trial_retry`` events
+    uniformly across execution paths.  Retries rebuild the generator
+    from the **same seed**, so a trial that recovers from a transient
+    fault returns the bit-identical value of an unfaulted run.
     """
     telemetry = get_telemetry()
     attempts = 1 + (max_retries if on_error == "retry" else 0)
@@ -184,7 +197,8 @@ def _execute_trial(
             telemetry.count("engine.retries")
         try:
             _maybe_inject_fault(seed)
-            return trial(context, static_args, np.random.default_rng(seed)), None
+            value = trial(context, static_args, np.random.default_rng(seed))
+            return value, None, attempt
         except ISOLATED_TRIAL_EXCEPTIONS as error:
             failure = TrialFailure(
                 trial_index=index,
@@ -196,7 +210,7 @@ def _execute_trial(
             )
     telemetry.count("engine.trial_failures")
     telemetry.count("engine.trial_failures", type=failure.exception_type)
-    return None, failure
+    return None, failure, failure.attempts
 
 
 def _worker_init(context: Dict[str, Any], telemetry_enabled: bool) -> None:
@@ -215,14 +229,17 @@ def _run_chunk(
     items: Sequence[Tuple[int, int]],
     on_error: str,
     max_retries: int,
-) -> Tuple[List[Tuple[int, Any, Optional[TrialFailure]]], Optional[Dict[str, Any]]]:
+) -> Tuple[
+    List[Tuple[int, Any, Optional[TrialFailure], int]], Optional[Dict[str, Any]]
+]:
     """Execute one chunk of ``(trial_index, seed)`` items in a worker.
 
-    Returns the indexed outcomes — each ``(index, value, failure)``,
-    with exceptions captured as :class:`TrialFailure` records instead of
-    propagating (a raising trial must not abort the chunk's siblings) —
-    plus this chunk's telemetry delta (the worker telemetry is reset per
-    chunk so deltas never double count).
+    Returns the indexed outcomes — each ``(index, value, failure,
+    attempts)``, with exceptions captured as :class:`TrialFailure`
+    records instead of propagating (a raising trial must not abort the
+    chunk's siblings) — plus this chunk's telemetry delta (the worker
+    telemetry is reset per chunk so deltas never double count).  No
+    events are emitted here: the parent emits them as chunks complete.
     """
     telemetry = get_telemetry()
     if telemetry.enabled:
@@ -230,11 +247,11 @@ def _run_chunk(
         telemetry.enable()
     results = []
     for index, seed in items:
-        value, failure = _execute_trial(
+        value, failure, attempts = _execute_trial(
             trial, _WORKER_CONTEXT, static_args, index, seed,
             on_error, max_retries,
         )
-        results.append((index, value, failure))
+        results.append((index, value, failure, attempts))
     state = telemetry.dump_state() if telemetry.enabled else None
     return results, state
 
@@ -324,12 +341,16 @@ class EngineSession:
         telemetry.count("engine.trials", count)
         items = list(enumerate(seeds))
         results: List[Any] = [None] * count
+        chunks = _chunked(items, self._engine.resolve_chunk_size(count))
         pool = self._acquire_pool()
         if pool is None:
-            self._run_items_in_process(trial, static_args, items, results)
+            # Same chunk boundaries as the parallel path, so heartbeat
+            # cadence (and the event-type sequence) matches it for a
+            # fixed chunk size.
+            for chunk in chunks:
+                self._run_items_in_process(trial, static_args, chunk, results)
             return results
         failures: List[TrialFailure] = []
-        chunks = _chunked(items, self._engine.resolve_chunk_size(count))
         lost = self._dispatch(pool, trial, static_args, chunks, results, failures)
         if lost:
             self._recover_lost_chunks(trial, static_args, lost, results, failures)
@@ -337,6 +358,23 @@ class EngineSession:
         return results
 
     # -- failure handling ---------------------------------------------
+
+    @staticmethod
+    def _emit_trial_events(
+        stream: Any,
+        failure: Optional[TrialFailure],
+        attempts: int,
+        index: int,
+    ) -> None:
+        """Emit the per-trial retry/failure events for one outcome."""
+        if not stream.enabled:
+            return
+        if attempts > 1:
+            stream.trial_retry(index, attempts, recovered=failure is None)
+        if failure is not None:
+            stream.trial_failure(
+                index, failure.seed, failure.exception_type, failure.message
+            )
 
     def _settle_failures(self, failures: List[TrialFailure]) -> None:
         """Record captured failures; raise them unless the policy skips."""
@@ -363,20 +401,31 @@ class EngineSession:
         accounting.  With ``failures=None`` a failure settles (and may
         raise) eagerly — there is no fleet to drain first; recovery
         passes the run's shared list to defer settling until every lost
-        chunk was re-executed.
+        chunk was re-executed.  Emits the same per-trial events and the
+        same end-of-chunk heartbeat the parallel collector emits.
         """
         engine = self._engine
+        stream = get_event_stream()
+        completed = 0
         for index, seed in items:
-            value, failure = _execute_trial(
+            value, failure, attempts = _execute_trial(
                 trial, self._context, static_args, index, seed,
                 engine.on_error, engine.max_retries,
             )
             results[index] = value
+            completed += 1
+            self._emit_trial_events(stream, failure, attempts, index)
             if failure is not None:
                 if failures is None:
+                    if engine.on_error != "skip":
+                        # Settling is about to raise; flush progress so
+                        # the aborted run's stream records it.
+                        stream.heartbeat(completed)
                     self._settle_failures([failure])
                 else:
                     failures.append(failure)
+        if completed:
+            stream.heartbeat(completed)
 
     # -- pool management ----------------------------------------------
 
@@ -410,8 +459,10 @@ class EngineSession:
                 future = None
             submitted.append((future, chunk))
         lost = []
+        stream = get_event_stream()
         # Collect in submission order so telemetry merges (histogram
-        # reservoir fill) stay deterministic for a fixed chunking.
+        # reservoir fill) and event emission stay deterministic for a
+        # fixed chunking.
         for future, chunk in submitted:
             if future is None:
                 lost.append(chunk)
@@ -421,12 +472,14 @@ class EngineSession:
             except POOL_CRASH_EXCEPTIONS:
                 lost.append(chunk)
                 continue
-            for index, value, failure in indexed:
+            for index, value, failure, attempts in indexed:
                 results[index] = value
+                self._emit_trial_events(stream, failure, attempts, index)
                 if failure is not None:
                     failures.append(failure)
             if state is not None:
                 telemetry.merge_state(state)
+            stream.heartbeat(len(indexed))
         return lost
 
     def _recover_lost_chunks(
@@ -446,9 +499,9 @@ class EngineSession:
         telemetry = get_telemetry()
         self.pool_rebuilds += 1
         telemetry.count("engine.pool_rebuilds")
-        telemetry.count(
-            "engine.trials_reexecuted", sum(len(chunk) for chunk in lost)
-        )
+        trials_lost = sum(len(chunk) for chunk in lost)
+        telemetry.count("engine.trials_reexecuted", trials_lost)
+        get_event_stream().pool_rebuild(trials_lost)
         rebuilt = self._rebuild_pool()
         if rebuilt is not None:
             lost = self._dispatch(
@@ -508,6 +561,7 @@ class EngineSession:
                 telemetry.count(
                     "engine.pool_fallbacks", reason=type(error).__name__
                 )
+                get_event_stream().pool_fallback(type(error).__name__)
                 return None
             telemetry.set_gauge("engine.workers", engine.workers)
         return self._pool

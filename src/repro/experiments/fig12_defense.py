@@ -19,6 +19,7 @@ from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
 from repro.experiments.defense_common import collect_distances, defense_receiver
 from repro.experiments.engine import MonteCarloEngine
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
@@ -60,6 +61,15 @@ def run(
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
     )
+    pending_trials = 0
+    for snr in snrs:
+        for split, per_class in (("train", train_per_class),
+                                 ("test", test_per_class)):
+            for label in ("zigbee", "emulated"):
+                key = f"snr{snr:g}.{split}.{label}"
+                if store is None or not store.completed(key):
+                    pending_trials += per_class
+    get_event_stream().declare_trials(pending_trials)
     with engine.session(context) as session:
         for i, snr in enumerate(snrs):
             train_zigbee.extend(collect_distances(

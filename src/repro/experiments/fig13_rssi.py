@@ -20,6 +20,7 @@ from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic
 from repro.experiments.engine import MonteCarloEngine
 from repro.hardware.rssi import RssiEstimator
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, spawn_rngs
 
 
@@ -80,11 +81,19 @@ def run(
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
     )
+    stream = get_event_stream()
+    pending = [
+        d for d in distances
+        if store is None or not store.completed(f"d{d:g}")
+    ]
+    stream.declare_trials(packets_per_point * len(pending))
     with engine.session(context) as session:
         for i, distance in enumerate(distances):
             point_key = f"d{distance:g}"
             row = store.get(point_key) if store is not None else None
             if row is None:
+                stream.point_started("fig13", point_key,
+                                     trials=packets_per_point)
                 mean_rx_dbm = float(
                     deterministic_budget.received_power_dbm(distance)
                 )
@@ -109,6 +118,8 @@ def run(
                 }
                 if store is not None:
                     store.save(point_key, row)
+                stream.point_finished("fig13", point_key,
+                                      rows_so_far=len(result.rows) + 1)
             result.add_row(**row)
     result.notes.append(
         "measured = link-budget mean plus per-packet fading/noise deviation "

@@ -36,6 +36,7 @@ from repro.hardware.cc26x2 import cc26x2_receiver_config
 from repro.hardware.rssi import RssiEstimator
 from repro.hardware.usrp import usrp_receiver_config
 from repro.link.metrics import ErrorRateAccumulator
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.zigbee.receiver import ZigBeeReceiver
 
@@ -123,11 +124,18 @@ def run(
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
     )
+    stream = get_event_stream()
+    pending = [
+        (d, rx, label) for d, rx, label in cells
+        if store is None or not store.completed(f"d{d:g}.{rx}.{label}")
+    ]
+    stream.declare_trials(trials * len(pending))
     with engine.session(context) as session:
         for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
             cell_key = f"d{distance:g}.{rx_name}.{label}"
             row = store.get(cell_key) if store is not None else None
             if row is None:
+                stream.point_started("fig14", cell_key, trials=trials)
                 outcomes = session.run(
                     _link_trial,
                     trials,
@@ -155,6 +163,8 @@ def run(
                 }
                 if store is not None:
                     store.save(cell_key, row)
+                stream.point_finished("fig14", cell_key,
+                                      rows_so_far=len(result.rows) + 1)
             result.add_row(**row)
     result.notes.append(
         "USRP profile: quadrature demodulation + implementation loss; "

@@ -33,6 +33,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.engine import MonteCarloEngine
 from repro.hardware.usrp import gnuradio_simulation_receiver_config
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.zigbee.receiver import ZigBeeReceiver
 
@@ -129,6 +130,14 @@ def run(
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
     )
+    stream = get_event_stream()
+    pending = [
+        snr for snr in snrs
+        if store is None or not store.completed(f"snr{snr:g}")
+    ]
+    stream.declare_trials(
+        trials * len(pending) * (2 if include_authentic else 1)
+    )
     with engine.session(context) as session:
         for i, snr in enumerate(snrs):
             point_key = f"snr{snr:g}"
@@ -136,6 +145,7 @@ def run(
             if cached is not None:
                 result.add_row(**cached)
                 continue
+            stream.point_started("table2", point_key, trials=trials)
             outcomes = session.run(
                 _emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
             )
@@ -165,6 +175,8 @@ def run(
             if store is not None:
                 store.save(point_key, row)
             result.add_row(**row)
+            stream.point_finished("table2", point_key,
+                                  rows_so_far=len(result.rows))
     result.notes.append(
         "receiver: GNU-Radio-style profile (quadrature demod, naive decimation) "
         "matching the paper's simulation SNR axis"

@@ -20,6 +20,7 @@ from repro.experiments.defense_common import (
     mean_or_nan,
 )
 from repro.experiments.engine import MonteCarloEngine
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 PAPER_TABLE4 = {
@@ -79,6 +80,13 @@ def run(
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
     )
+    pending = [
+        key
+        for snr in snrs
+        for key in (f"snr{snr:g}.zigbee", f"snr{snr:g}.emulated")
+        if store is None or not store.completed(key)
+    ]
+    get_event_stream().declare_trials(waveforms_per_point * len(pending))
     with engine.session(context) as session:
         for i, snr in enumerate(snrs):
             zigbee_values = collect_distances(

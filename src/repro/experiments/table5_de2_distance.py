@@ -36,6 +36,7 @@ from repro.experiments.defense_common import (
     mean_or_nan,
 )
 from repro.experiments.engine import MonteCarloEngine
+from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 PAPER_TABLE5 = {
@@ -130,11 +131,19 @@ def run(
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
     )
+    stream = get_event_stream()
+    pending = [
+        d for d in distances
+        if store is None or not store.completed(f"d{d:g}")
+    ]
+    stream.declare_trials(2 * waveforms_per_point * len(pending))
     with engine.session(context) as session:
         for i, distance in enumerate(distances):
             point_key = f"d{distance:g}"
             row = store.get(point_key) if store is not None else None
             if row is None:
+                stream.point_started("table5", point_key,
+                                     trials=2 * waveforms_per_point)
                 values = {}
                 for j, label in enumerate(("zigbee", "emulated")):
                     outcomes = session.run(
@@ -155,6 +164,8 @@ def run(
                 }
                 if store is not None:
                     store.save(point_key, row)
+                stream.point_finished("table5", point_key,
+                                      rows_so_far=len(result.rows) + 1)
             result.add_row(**row)
     result.notes.append(
         "detector uses |C40| (Sec. VI-C) because the real environment adds "

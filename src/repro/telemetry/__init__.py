@@ -24,6 +24,13 @@ costs nothing unless switched on::
 
 or from the CLI: ``repro-experiments run table2 --telemetry
 --telemetry-out t.json`` then ``repro-experiments report t.json``.
+
+On top of the snapshot layer sits the *live* telemetry plane: a
+structured JSONL event stream (:mod:`repro.telemetry.events`), a
+persistent run registry (:mod:`repro.telemetry.registry`, one
+``.repro-runs/<run_id>/`` directory per ``--telemetry`` run), and
+cross-run regression diffing (:mod:`repro.telemetry.diff`, the engine
+behind ``repro-experiments runs diff --gate``).
 """
 
 from repro.telemetry.core import (
@@ -34,12 +41,35 @@ from repro.telemetry.core import (
     stopwatch,
     traced,
 )
+from repro.telemetry.diff import (
+    RunDiff,
+    diff_runs,
+    format_run_diff,
+    parse_percentage,
+)
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    EventSink,
+    EventStream,
+    FileEventSink,
+    MemoryEventSink,
+    StderrProgressSink,
+    get_event_stream,
+    read_events_jsonl,
+    summarize_events,
+)
 from repro.telemetry.manifest import (
     MANIFEST_VERSION,
     build_manifest,
+    git_revision,
     host_info,
     read_manifest,
     write_manifest,
+)
+from repro.telemetry.registry import (
+    DEFAULT_RUNS_ROOT,
+    RunDirectory,
+    RunRegistry,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -49,33 +79,54 @@ from repro.telemetry.metrics import (
     metric_key,
 )
 from repro.telemetry.report import (
+    format_event_summary,
     format_metrics,
     format_span_tree,
     is_telemetry_payload,
     load_telemetry,
+    render_run_directory,
     render_telemetry,
 )
 
 __all__ = [
     "Counter",
+    "DEFAULT_RUNS_ROOT",
+    "EVENT_TYPES",
+    "EventSink",
+    "EventStream",
+    "FileEventSink",
     "Gauge",
     "Histogram",
     "MANIFEST_VERSION",
+    "MemoryEventSink",
     "MetricRegistry",
+    "RunDiff",
+    "RunDirectory",
+    "RunRegistry",
     "SpanNode",
+    "StderrProgressSink",
     "Stopwatch",
     "Telemetry",
     "build_manifest",
+    "diff_runs",
+    "format_event_summary",
     "format_metrics",
+    "format_run_diff",
     "format_span_tree",
+    "get_event_stream",
     "get_telemetry",
+    "git_revision",
     "host_info",
     "is_telemetry_payload",
     "load_telemetry",
     "metric_key",
+    "parse_percentage",
+    "read_events_jsonl",
     "read_manifest",
+    "render_run_directory",
     "render_telemetry",
     "stopwatch",
+    "summarize_events",
     "traced",
     "write_manifest",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import platform
 import socket
+import subprocess
 import sys
 from datetime import datetime, timezone
 from pathlib import Path
@@ -41,6 +42,33 @@ def host_info() -> Dict[str, str]:
     }
 
 
+def git_revision() -> Optional[str]:
+    """Short git revision of the working tree, or None outside a repo.
+
+    Appends ``+dirty`` when the tree has uncommitted changes, so a
+    manifest or benchmark record never silently claims a clean build.
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if rev.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = rev.stdout.strip()
+    if not revision:
+        return None
+    if status.returncode == 0 and status.stdout.strip():
+        revision += "+dirty"
+    return revision
+
+
 def build_manifest(
     seed: Optional[int] = None,
     config: Optional[Dict[str, Any]] = None,
@@ -63,6 +91,7 @@ def build_manifest(
         "package_version": __version__,
         "created_utc": datetime.now(timezone.utc).isoformat(),
         "host": host_info(),
+        "git_rev": git_revision(),
         "seed": seed,
         "config": dict(config or {}),
     }

@@ -1,0 +1,220 @@
+"""Persistent run registry: every telemetry run leaves a directory.
+
+A run directory is the durable unit of history::
+
+    .repro-runs/<run_id>/
+        manifest.json      # seed, config, host, git rev; finalized at exit
+        events.jsonl       # the structured event stream (crash-safe append)
+        metrics.json       # telemetry snapshot (spans + counters + histograms)
+        rows/<exp>.json    # result rows per experiment
+
+``manifest.json`` is written twice: once at run start (``status:
+"running"``) so a killed run is still identifiable, and once at the end
+with the final status and elapsed time.  Everything except
+``events.jsonl`` goes through :func:`repro.utils.io.atomic_write_json`;
+the event stream appends line-by-line by design (see
+:mod:`repro.telemetry.events`).
+
+:class:`RunRegistry` owns the root directory, lists history newest
+first, and resolves user-facing tokens (``latest``, a full run id, a
+unique prefix, or a literal path) to :class:`RunDirectory` handles.
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.telemetry.events import read_events_jsonl, summarize_events
+from repro.utils.io import atomic_write_json, read_json
+
+PathLike = Union[str, Path]
+
+#: Default registry root, relative to the working directory.
+DEFAULT_RUNS_ROOT = ".repro-runs"
+
+
+def make_run_id(label: str) -> str:
+    """Mint a run id: UTC timestamp + label + a short random suffix.
+
+    The timestamp prefix makes lexicographic order equal chronological
+    order (so ``sorted()`` is history order); the suffix keeps two runs
+    started within the same second distinct.
+    """
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S")
+    clean = "".join(c if c.isalnum() or c in "-_" else "-" for c in label)
+    suffix = os.urandom(2).hex()
+    return f"{stamp}-{clean or 'run'}-{suffix}"
+
+
+class RunDirectory:
+    """Handle to one run's on-disk artifacts."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(str(path))
+
+    @property
+    def run_id(self) -> str:
+        return self.path.name
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "manifest.json"
+
+    @property
+    def events_path(self) -> Path:
+        return self.path / "events.jsonl"
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.path / "metrics.json"
+
+    @property
+    def rows_dir(self) -> Path:
+        return self.path / "rows"
+
+    def exists(self) -> bool:
+        """Whether the run directory is present on disk."""
+        return self.path.is_dir()
+
+    def create(self) -> "RunDirectory":
+        """Make the directory (and parents); returns self for chaining."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- manifest ------------------------------------------------------
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        """Atomically (re)write ``manifest.json``."""
+        atomic_write_json(self.manifest_path, manifest)
+
+    def read_manifest(self) -> Dict[str, Any]:
+        """Load ``manifest.json``."""
+        return read_json(self.manifest_path)
+
+    # -- metrics snapshot ----------------------------------------------
+
+    def write_metrics(self, snapshot: Dict[str, Any]) -> None:
+        """Atomically write the telemetry snapshot to ``metrics.json``."""
+        atomic_write_json(self.metrics_path, snapshot)
+
+    def read_metrics(self) -> Dict[str, Any]:
+        """Load ``metrics.json``."""
+        return read_json(self.metrics_path)
+
+    # -- result rows ---------------------------------------------------
+
+    def write_rows(self, result: Any) -> None:
+        """Persist one experiment's result rows (an ``ExperimentResult``)."""
+        self.rows_dir.mkdir(parents=True, exist_ok=True)
+        columns = list(result.columns)
+        payload = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "columns": columns,
+            "rows": [
+                [row.get(column) for column in columns]
+                for row in result.rows
+            ],
+            "notes": list(result.notes),
+        }
+        atomic_write_json(self.rows_dir / f"{result.experiment_id}.json", payload)
+
+    def read_rows(self) -> Dict[str, Dict[str, Any]]:
+        """All stored row payloads, keyed by experiment id."""
+        if not self.rows_dir.is_dir():
+            return {}
+        payloads = {}
+        for entry in sorted(self.rows_dir.glob("*.json")):
+            payloads[entry.stem] = read_json(entry)
+        return payloads
+
+    # -- events --------------------------------------------------------
+
+    def read_events(self) -> List[Dict[str, Any]]:
+        """The parsed event stream; empty when none was recorded."""
+        if not self.events_path.exists():
+            return []
+        return read_events_jsonl(self.events_path)
+
+    # -- summary -------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """One row of facts for ``runs list``: status, experiments, counts."""
+        manifest: Dict[str, Any] = {}
+        if self.manifest_path.exists():
+            try:
+                manifest = self.read_manifest()
+            except (ConfigurationError, ValueError):
+                manifest = {}
+        events = summarize_events(self.read_events())
+        status = manifest.get("status") or events["status"] or "unknown"
+        return {
+            "run_id": self.run_id,
+            "status": status,
+            "experiments": manifest.get("experiments", []),
+            "seed": manifest.get("seed"),
+            "created_utc": manifest.get("created_utc"),
+            "elapsed_seconds": manifest.get("elapsed_seconds")
+            or events["elapsed_seconds"],
+            "trials_done": events["trials_done"],
+            "failures": events["failures"],
+            "events": events["events"],
+        }
+
+
+class RunRegistry:
+    """The collection of run directories under one root."""
+
+    def __init__(self, root: PathLike = DEFAULT_RUNS_ROOT):
+        self.root = Path(str(root))
+
+    def create(self, label: str) -> RunDirectory:
+        """Mint a fresh run directory for a new run."""
+        run = RunDirectory(self.root / make_run_id(label))
+        return run.create()
+
+    def list(self) -> List[RunDirectory]:
+        """Every run directory, newest first (ids sort chronologically)."""
+        if not self.root.is_dir():
+            return []
+        runs = [RunDirectory(p) for p in self.root.iterdir() if p.is_dir()]
+        return sorted(runs, key=lambda run: run.run_id, reverse=True)
+
+    def resolve(self, token: str) -> RunDirectory:
+        """Map a user-facing token to a run directory.
+
+        Accepted forms, in order: the literal ``latest``; a path to a
+        run directory (inside or outside this registry — lets ``runs
+        diff`` compare against a committed baseline); an exact run id
+        under the root; a unique run-id prefix.
+        """
+        if token == "latest":
+            runs = self.list()
+            if not runs:
+                raise ConfigurationError(f"no runs recorded under {self.root}")
+            return runs[0]
+        as_path = Path(token)
+        if as_path.is_dir() and (
+            (as_path / "manifest.json").exists()
+            or (as_path / "events.jsonl").exists()
+        ):
+            return RunDirectory(as_path)
+        exact = RunDirectory(self.root / token)
+        if exact.exists():
+            return exact
+        matches = [run for run in self.list() if run.run_id.startswith(token)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            ids = ", ".join(run.run_id for run in matches[:5])
+            raise ConfigurationError(
+                f"run token {token!r} is ambiguous: matches {ids}"
+            )
+        raise ConfigurationError(
+            f"no run matching {token!r} under {self.root} "
+            "(try 'runs list', 'latest', or a run-directory path)"
+        )

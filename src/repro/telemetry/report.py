@@ -1,9 +1,12 @@
-"""Render a saved telemetry file for the terminal.
+"""Render a saved telemetry file (or run directory) for the terminal.
 
 ``repro-experiments report t.json`` calls :func:`render_telemetry` to
 show the manifest header, the nested timing tree (seconds, call counts,
 share of parent), a bar chart of top-level stages (via
-:mod:`repro.utils.terminal_plot`), and the metric table.
+:mod:`repro.utils.terminal_plot`), and the metric table.  Pointed at a
+run *directory* (``report .repro-runs/<id>``) it renders the same
+report from ``metrics.json`` plus the event-derived
+failure/retry/rebuild summary (:func:`render_run_directory`).
 """
 
 from __future__ import annotations
@@ -140,4 +143,65 @@ def render_telemetry(payload: Dict[str, Any]) -> str:
     if bars:
         sections.append(bars)
     sections.append(format_metrics(payload.get("metrics", {})))
+    return "\n\n".join(sections)
+
+
+def format_event_summary(summary: Dict[str, Any]) -> str:
+    """The event-derived health block for one run's stream."""
+    lines = ["events"]
+    status = summary.get("status") or "incomplete"
+    lines.append(f"  status: {status}   recorded events: {summary['events']}")
+    lines.append(
+        f"  trials: {summary['trials_done']}   "
+        f"points finished: {summary['points_finished']}"
+    )
+    lines.append(
+        f"  retries: {summary['retries']}   failures: {summary['failures']}   "
+        f"pool rebuilds: {summary['pool_rebuilds']}   "
+        f"pool fallbacks: {summary['pool_fallbacks']}"
+    )
+    lines.append(
+        f"  checkpoint hits: {summary['checkpoint_hits']}   "
+        f"saves: {summary['checkpoint_saves']}"
+    )
+    elapsed = summary.get("elapsed_seconds")
+    if isinstance(elapsed, (int, float)):
+        lines.append(f"  elapsed: {elapsed:.2f}s")
+    heartbeat = summary.get("last_heartbeat")
+    if heartbeat:
+        rate = heartbeat.get("trials_per_second")
+        if isinstance(rate, (int, float)):
+            lines.append(f"  final rate: {rate:.2f} trials/s")
+    return "\n".join(lines)
+
+
+def render_run_directory(run: Any) -> str:
+    """Report a run directory: manifest, timings, metrics, event health.
+
+    ``run`` is a :class:`repro.telemetry.registry.RunDirectory` (typed
+    as ``Any`` to keep this renderer import-light).
+    """
+    from repro.telemetry.events import summarize_events
+
+    sections: List[str] = [f"run directory: {run.path}"]
+    manifest: Dict[str, Any] = {}
+    if run.manifest_path.exists():
+        manifest = run.read_manifest()
+        sections.append(format_manifest(manifest))
+    if run.metrics_path.exists():
+        snapshot = run.read_metrics()
+        spans = snapshot.get("spans", {})
+        sections.append(format_span_tree(spans))
+        bars = format_stage_bars(spans)
+        if bars:
+            sections.append(bars)
+        sections.append(format_metrics(snapshot.get("metrics", {})))
+    events = run.read_events()
+    if events:
+        sections.append(format_event_summary(summarize_events(events)))
+    rows = run.read_rows()
+    if rows:
+        names = ", ".join(sorted(rows))
+        counts = sum(len(p.get("rows", [])) for p in rows.values())
+        sections.append(f"results: {names}  ({counts} row(s))")
     return "\n\n".join(sections)

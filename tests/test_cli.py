@@ -71,7 +71,8 @@ class TestCli:
 
         out_file = str(tmp_path / "t.json")
         assert main(["run", "table1", "--seed", "2", "--telemetry",
-                     "--telemetry-out", out_file]) == 0
+                     "--telemetry-out", out_file,
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
         capsys.readouterr()
         payload = json.loads((tmp_path / "t.json").read_text())
         assert "spans" in payload and "metrics" in payload
@@ -84,17 +85,21 @@ class TestCli:
         assert "experiment.table1" in rendered
         assert "seed: 2" in rendered
 
-    def test_telemetry_without_out_prints_summary(self, capsys):
-        assert main(["run", "table1", "--seed", "1", "--telemetry"]) == 0
+    def test_telemetry_without_out_prints_summary(self, tmp_path, capsys):
+        assert main(["run", "table1", "--seed", "1", "--telemetry",
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
         out = capsys.readouterr().out
         assert "experiment.table1" in out
         assert "stage wall-clock" in out
+        assert "[run directory:" in out
 
-    def test_telemetry_disabled_after_run(self):
-        from repro.telemetry import get_telemetry
+    def test_telemetry_disabled_after_run(self, tmp_path):
+        from repro.telemetry import get_event_stream, get_telemetry
 
-        assert main(["run", "table1", "--seed", "1", "--telemetry"]) == 0
+        assert main(["run", "table1", "--seed", "1", "--telemetry",
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
         assert not get_telemetry().enabled
+        assert not get_event_stream().enabled
 
 
 class TestFaultToleranceFlags:

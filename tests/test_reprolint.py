@@ -1,6 +1,6 @@
 """Tests for ``repro.analysis`` — the reprolint invariant checker.
 
-Every rule R001-R006 gets at least one fixture that must fire and one
+Every rule R001-R007 gets at least one fixture that must fire and one
 that must stay silent; suppression comments, the JSON reporter schema,
 and a self-check over the real repository round out the contract in
 ``docs/STATIC_ANALYSIS.md``.
@@ -375,6 +375,59 @@ class TestR006LibraryHygiene:
         ) == set()
 
 
+class TestR007NoDirectOutput:
+    def test_print_fires_in_library(self):
+        assert "R007" in codes(
+            """
+            def describe(value):
+                print(value)
+            """
+        )
+
+    def test_stream_writes_fire_in_library(self):
+        assert "R007" in codes(
+            """
+            import sys
+
+            def describe(value):
+                sys.stdout.write(str(value))
+            """
+        )
+        assert "R007" in codes(
+            """
+            import sys
+
+            def warn(message):
+                sys.stderr.writelines([message])
+            """
+        )
+
+    def test_tests_and_cli_modules_are_exempt(self):
+        snippet = "print('hello')\n"
+        assert codes(snippet, filename=TEST) == set()
+        assert codes(snippet, filename="src/repro/cli.py") == set()
+        assert codes(snippet, filename="src/repro/analysis/__main__.py") == set()
+
+    def test_reporter_and_sink_modules_are_exempt(self):
+        snippet = "import sys\nsys.stderr.write('x')\n"
+        assert codes(snippet, filename="src/repro/telemetry/events.py") == set()
+        assert codes(snippet, filename="src/repro/telemetry/report.py") == set()
+        assert codes(
+            snippet, filename="src/repro/analysis/reporters.py"
+        ) == set()
+        assert codes(
+            snippet, filename="src/repro/utils/terminal_plot.py"
+        ) == set()
+
+    def test_returning_strings_is_the_blessed_path(self):
+        assert codes(
+            """
+            def describe(value):
+                return f"value: {value}"
+            """
+        ) == set()
+
+
 class TestSuppression:
     def test_same_line_disable(self):
         assert codes("import random  # reprolint: disable=R001\n") == set()
@@ -508,7 +561,7 @@ class TestCliAndSelfCheck:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
             assert code in out
 
     def test_violations_exit_1_with_text_report(self, tmp_path, capsys):

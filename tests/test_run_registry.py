@@ -1,0 +1,224 @@
+"""Tests for the run registry and cross-run diffing.
+
+Covers the on-disk run-directory contract (manifest written twice,
+rows/metrics/events round trips), token resolution (``latest``, exact
+ids, unique prefixes, literal paths), the regression gate semantics
+(row diffs and failure-counter increases trip it; gauge noise does
+not), and the ``runs list|show|tail|diff`` CLI surface end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.telemetry.diff import diff_runs, format_run_diff, parse_percentage
+from repro.telemetry.registry import RunDirectory, RunRegistry, make_run_id
+
+
+def _result(value=0.25):
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="demo",
+        columns=["snr_db", "wer"],
+    )
+    result.add_row(snr_db=15, wer=value)
+    result.add_row(snr_db=17, wer=value / 2)
+    result.notes.append("synthetic fixture")
+    return result
+
+
+def _make_run(root, name, value=0.25, counters=None, elapsed=2.0):
+    """Hand-build a complete run directory fixture."""
+    run = RunDirectory(root / name).create()
+    run.write_manifest({
+        "status": "ok",
+        "seed": 1,
+        "experiments": ["table2"],
+        "elapsed_seconds": elapsed,
+    })
+    run.write_metrics({
+        "spans": {"name": "run", "seconds": elapsed, "count": 1,
+                  "children": []},
+        "metrics": {"counters": counters or {"engine.trials": 12.0},
+                    "gauges": {}, "histograms": {}},
+    })
+    run.write_rows(_result(value))
+    with open(run.events_path, "w") as handle:
+        for record in (
+            {"event": "run_started", "seq": 1, "ts": 0.0},
+            {"event": "heartbeat", "seq": 2, "ts": 1.0, "trials_done": 12},
+            {"event": "run_finished", "seq": 3, "ts": 2.0, "status": "ok",
+             "elapsed_seconds": elapsed},
+        ):
+            handle.write(json.dumps(record) + "\n")
+    return run
+
+
+class TestRunDirectory:
+    def test_run_ids_sort_chronologically(self):
+        assert make_run_id("table2") < "9"  # starts with a digit year
+        first = make_run_id("a")
+        assert first.split("-")[-2] == "a"
+
+    def test_label_is_sanitized(self):
+        run_id = make_run_id("all the/things!")
+        assert "/" not in run_id and " " not in run_id
+
+    def test_rows_round_trip(self, tmp_path):
+        run = _make_run(tmp_path, "r1", value=0.5)
+        payloads = run.read_rows()
+        assert set(payloads) == {"table2"}
+        payload = payloads["table2"]
+        assert payload["columns"] == ["snr_db", "wer"]
+        assert payload["rows"] == [[15, 0.5], [17, 0.25]]
+        assert payload["notes"] == ["synthetic fixture"]
+
+    def test_summary_merges_manifest_and_events(self, tmp_path):
+        run = _make_run(tmp_path, "r1", elapsed=3.5)
+        summary = run.summary()
+        assert summary["status"] == "ok"
+        assert summary["experiments"] == ["table2"]
+        assert summary["trials_done"] == 12
+        assert summary["elapsed_seconds"] == 3.5
+
+    def test_summary_of_killed_run_reports_running(self, tmp_path):
+        run = RunDirectory(tmp_path / "dead").create()
+        run.write_manifest({"status": "running", "seed": 7})
+        assert run.summary()["status"] == "running"
+
+
+class TestRunRegistry:
+    def test_list_is_newest_first(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for name in ("20260101T000000-a-0000", "20260102T000000-b-0000"):
+            RunDirectory(tmp_path / name).create()
+        ids = [run.run_id for run in registry.list()]
+        assert ids == ["20260102T000000-b-0000", "20260101T000000-a-0000"]
+
+    def test_resolve_latest_exact_prefix_and_path(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        old = _make_run(tmp_path / "runs", "20260101T000000-a-0000")
+        new = _make_run(tmp_path / "runs", "20260102T000000-b-0000")
+        outside = _make_run(tmp_path / "baselines", "committed")
+        assert registry.resolve("latest").run_id == new.run_id
+        assert registry.resolve(old.run_id).run_id == old.run_id
+        assert registry.resolve("20260101").run_id == old.run_id
+        assert registry.resolve(str(outside.path)).run_id == "committed"
+
+    def test_resolve_rejects_ambiguous_and_unknown(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        _make_run(tmp_path, "20260101T000000-a-0000")
+        _make_run(tmp_path, "20260101T000001-b-0000")
+        with pytest.raises(ConfigurationError):
+            registry.resolve("20260101")
+        with pytest.raises(ConfigurationError):
+            registry.resolve("nope")
+
+    def test_resolve_latest_with_no_runs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunRegistry(tmp_path / "empty").resolve("latest")
+
+
+class TestDiffAndGate:
+    def test_identical_runs_pass_the_gate(self, tmp_path):
+        run_a = _make_run(tmp_path, "a")
+        run_b = _make_run(tmp_path, "b")
+        diff = diff_runs(run_a, run_b)
+        assert diff.row_diffs == []
+        assert diff.gate_passed
+        assert "gate: PASS" in format_run_diff(diff, gate=True)
+
+    def test_row_regression_trips_the_gate(self, tmp_path):
+        run_a = _make_run(tmp_path, "a", value=0.25)
+        run_b = _make_run(tmp_path, "b", value=0.75)
+        diff = diff_runs(run_a, run_b)
+        assert any("wer" in item for item in diff.row_diffs)
+        assert not diff.gate_passed
+        assert "gate: FAIL" in format_run_diff(diff, gate=True)
+
+    def test_failure_counter_increase_trips_the_gate(self, tmp_path):
+        run_a = _make_run(
+            tmp_path, "a",
+            counters={"engine.trials": 12.0, "engine.trial_failures": 0.0},
+        )
+        run_b = _make_run(
+            tmp_path, "b",
+            counters={"engine.trials": 12.0, "engine.trial_failures": 2.0},
+        )
+        diff = diff_runs(run_a, run_b)
+        assert any("trial_failures" in item for item in diff.gate_failures)
+
+    def test_benign_counter_changes_do_not_gate(self, tmp_path):
+        run_a = _make_run(tmp_path, "a", counters={"engine.trials": 12.0})
+        run_b = _make_run(tmp_path, "b", counters={"engine.trials": 24.0})
+        diff = diff_runs(run_a, run_b)
+        assert diff.counter_diffs and diff.gate_passed
+
+    def test_wallclock_regression_and_opt_out(self, tmp_path):
+        run_a = _make_run(tmp_path, "a", elapsed=1.0)
+        run_b = _make_run(tmp_path, "b", elapsed=2.0)
+        gated = diff_runs(run_a, run_b, max_regression=0.2)
+        assert any("wall-clock" in item for item in gated.gate_failures)
+        relaxed = diff_runs(run_a, run_b, max_regression=0.2, wallclock=False)
+        assert relaxed.gate_passed
+
+    def test_parse_percentage_forms(self):
+        assert parse_percentage("20%") == pytest.approx(0.2)
+        assert parse_percentage("0.5") == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            parse_percentage("fast")
+        with pytest.raises(ConfigurationError):
+            parse_percentage("-5%")
+
+
+class TestRunsCli:
+    def test_identical_seed_runs_diff_clean(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "runs")
+        base = ["run", "table1", "--seed", "2", "--telemetry",
+                "--runs-dir", runs_dir]
+        assert main(base) == 0
+        assert main(base) == 0
+        capsys.readouterr()
+        registry = RunRegistry(runs_dir)
+        older, newer = [run.run_id for run in registry.list()][1::-1]
+        assert main(["runs", "diff", older, newer, "--runs-dir", runs_dir,
+                     "--gate", "--no-wallclock"]) == 0
+        out = capsys.readouterr().out
+        assert "rows: 0 difference(s)" in out
+        assert "gate: PASS" in out
+
+    def test_gate_fails_on_injected_regression(self, tmp_path, capsys):
+        _make_run(tmp_path, "a", value=0.25)
+        _make_run(tmp_path, "b", value=0.99)
+        assert main(["runs", "diff", "a", "b",
+                     "--runs-dir", str(tmp_path), "--gate"]) == 1
+        assert "gate: FAIL" in capsys.readouterr().out
+
+    def test_list_show_and_tail(self, tmp_path, capsys):
+        _make_run(tmp_path, "20260101T000000-table2-0000")
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "20260101T000000-table2-0000" in out and "ok" in out
+
+        assert main(["runs", "show", "latest",
+                     "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run directory:" in out
+        assert "events" in out
+
+        assert main(["runs", "tail", "latest",
+                     "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run_started" in out and "run_finished" in out
+
+    def test_list_with_no_runs(self, tmp_path, capsys):
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_unknown_token_exits_2(self, tmp_path, capsys):
+        assert main(["runs", "show", "missing",
+                     "--runs-dir", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -50,6 +50,59 @@ def test_bench_detector_statistic(benchmark):
     assert result.distance_squared < 0.5
 
 
+def test_bench_zigbee_receive_batch(benchmark, observed):
+    """Batched receive over a 32-row stack; compare per-row cost with
+    ``test_bench_zigbee_receive`` for the vectorization win."""
+    receiver = ZigBeeReceiver()
+    waveform = observed.waveform
+    stacked = np.tile(waveform.samples, (32, 1))
+    packets = benchmark(
+        lambda: receiver.receive_batch(
+            stacked, waveform.sample_rate_hz, known_start=0
+        )
+    )
+    assert all(packet is not None and packet.fcs_ok for packet in packets)
+
+
+def test_bench_detector_statistic_batch(benchmark):
+    rng = np.random.default_rng(0)
+    rows = [
+        2.0 * rng.integers(0, 2, 4096) - 1.0
+        + 0.05 * rng.standard_normal(4096)
+        for _ in range(32)
+    ]
+    detector = CumulantDetector()
+    results = benchmark(lambda: detector.statistic_batch(rows))
+    assert all(result.distance_squared < 0.5 for result in results)
+
+
+def test_bench_batched_receive_matches_scalar(benchmark, observed):
+    """The batched chain's rows equal scalar receptions bit-for-bit."""
+    from repro.channel.awgn import add_awgn
+
+    receiver = ZigBeeReceiver()
+    waveform = observed.waveform
+    rng = np.random.default_rng(7)
+    stacked = np.stack(
+        [add_awgn(waveform.samples, 15.0, rng=rng) for _ in range(8)]
+    )
+    scalars = [
+        receiver.receive(waveform.with_samples(row), known_start=0)
+        for row in stacked
+    ]
+    packets = benchmark(
+        lambda: receiver.receive_batch(
+            stacked, waveform.sample_rate_hz, known_start=0
+        )
+    )
+    for packet, scalar in zip(packets, scalars):
+        assert packet is not None
+        assert packet.psdu == scalar.psdu
+        assert np.array_equal(
+            packet.diagnostics.soft_chips, scalar.diagnostics.soft_chips
+        )
+
+
 def test_bench_viterbi(benchmark):
     rng = np.random.default_rng(1)
     bits = np.concatenate(

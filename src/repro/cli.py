@@ -68,6 +68,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="trial-failure policy for engine-backed "
                           "experiments: raise (default), retry with the "
                           "same seed, or skip and record the failure")
+    run.add_argument("--no-batch", action="store_true",
+                     help="force the scalar per-trial path for "
+                          "engine-backed experiments instead of the "
+                          "vectorized batched receive chain (results are "
+                          "bit-identical either way at a seed)")
     run.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                      help="persist each completed sweep point atomically "
                           "under DIR so an interrupted run can resume")
@@ -115,6 +120,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: min(4, host CPUs))")
     bench.add_argument("--chunk-size", type=int, default=None)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--no-batch", action="store_true",
+                       help="skip the scalar-vs-batched comparison and "
+                            "bench only the scalar path")
     bench.add_argument("--out", default=None,
                        help="baseline path (default: BENCH_engine.json)")
 
@@ -345,6 +353,7 @@ def _run_one(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     run_dir: Any = None,
+    batch: bool = True,
 ) -> None:
     telemetry = get_telemetry()
     entry = get_experiment(experiment_id)
@@ -369,6 +378,8 @@ def _run_one(
     if checkpoint_dir is not None and "checkpoint_dir" in parameters:
         kwargs["checkpoint_dir"] = checkpoint_dir
         kwargs["resume"] = resume
+    if not batch and "batch" in parameters:
+        kwargs["batch"] = False
     with stopwatch() as timer:
         with telemetry.span(f"experiment.{experiment_id}"):
             result = entry.run(**kwargs)
@@ -582,6 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             seed=args.seed,
+            batch=not args.no_batch,
         )
         print(json.dumps(baseline, indent=2))
         print(f"[engine baseline written to {out}]")
@@ -635,7 +647,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                      workers=args.workers, chunk_size=args.chunk_size,
                      on_error=args.on_error,
                      checkpoint_dir=args.checkpoint_dir,
-                     resume=args.resume, run_dir=run_dir)
+                     resume=args.resume, run_dir=run_dir,
+                     batch=not args.no_batch)
         status = "ok"
     finally:
         if use_telemetry:

@@ -79,6 +79,42 @@ def reconstruct_constellation(
     return points
 
 
+def reconstruct_constellation_batch(
+    soft_chips: np.ndarray, options: Optional[ConstellationOptions] = None
+) -> np.ndarray:
+    """Row-wise :func:`reconstruct_constellation` over a (batch, chips) stack.
+
+    Each row must hold the same number of soft chips (callers group
+    packets by length).  The complex points are assembled by real/imag
+    component copies and every reduction runs along the last axis, so
+    row ``r`` of the result is bit-identical to
+    ``reconstruct_constellation(soft_chips[r], options)``.
+    """
+    opts = options or ConstellationOptions()
+    soft = np.asarray(soft_chips, dtype=np.float64)
+    if soft.ndim != 2:
+        raise ConfigurationError("batch soft chips must be a 2-D array")
+    if opts.drop_header_chips < 0:
+        raise ConfigurationError("drop_header_chips must be >= 0")
+    soft = soft[:, opts.drop_header_chips :]
+    usable = soft.shape[1] - (soft.shape[1] % 2)
+    if usable < 2:
+        raise ConfigurationError("need at least one chip pair")
+    soft = soft[:, :usable]
+
+    points = np.empty((soft.shape[0], usable // 2), dtype=np.complex128)
+    points.real = soft[:, 0::2]
+    points.imag = soft[:, 1::2]
+    if opts.rotate_to_axes:
+        points = points * _ROTATION
+    if opts.normalize:
+        power = np.mean(np.abs(points) ** 2, axis=-1)
+        if np.any(power <= 0.0):
+            raise ConfigurationError("cannot normalize zero-power points")
+        points = points / np.sqrt(power)[:, None]
+    return points
+
+
 def ideal_qpsk_points() -> np.ndarray:
     """The four ideal points of the rotated convention: {1, j, -1, -j}."""
     return np.array([1.0 + 0j, 1j, -1.0 + 0j, -1j], dtype=np.complex128)

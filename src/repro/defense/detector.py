@@ -23,12 +23,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.defense.constellation import ConstellationOptions, reconstruct_constellation
-from repro.defense.moments import CumulantEstimate, estimate_cumulants
+from repro.defense.constellation import (
+    ConstellationOptions,
+    reconstruct_constellation,
+    reconstruct_constellation_batch,
+)
+from repro.defense.moments import (
+    CumulantEstimate,
+    estimate_cumulants,
+    estimate_cumulants_batch,
+)
 from repro.errors import ConfigurationError, DetectionError
 from repro.telemetry import get_telemetry
 
@@ -167,6 +175,100 @@ class CumulantDetector:
             return self.statistic_from_points(
                 points, noise_variance=noise_variance
             )
+
+    def statistic_batch(
+        self,
+        soft_chips_rows: Sequence[np.ndarray],
+        chip_noise_variances: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[DetectionResult]:
+        """Batched :meth:`statistic` over per-packet soft chip vectors.
+
+        Rows are grouped by chip count so each group forms a contiguous
+        rectangular stack; within a group the constellation build and
+        the moment reductions are vectorized along the last axis, which
+        keeps every row bit-identical to a scalar :meth:`statistic`
+        call on that row.  Results come back in input order and the
+        per-decision telemetry matches the scalar path's totals.
+        """
+        rows = [np.asarray(row, dtype=np.float64) for row in soft_chips_rows]
+        if chip_noise_variances is None:
+            variances: List[Optional[float]] = [None] * len(rows)
+        else:
+            variances = list(chip_noise_variances)
+            if len(variances) != len(rows):
+                raise ConfigurationError(
+                    "need one chip_noise_variance per soft-chip row"
+                )
+        groups: Dict[int, List[int]] = {}
+        for index, row in enumerate(rows):
+            if row.ndim != 1:
+                raise ConfigurationError("soft chips must be a 1-D array")
+            groups.setdefault(row.size, []).append(index)
+
+        from dataclasses import replace
+
+        options = self.constellation_options
+        telemetry = get_telemetry()
+        results: List[Optional[DetectionResult]] = [None] * len(rows)
+        with telemetry.span("defense.detect_batch"):
+            for indices in groups.values():
+                stack = np.ascontiguousarray(
+                    np.stack([rows[index] for index in indices])
+                )
+                with telemetry.span("defense.constellation"):
+                    raw = reconstruct_constellation_batch(
+                        stack, replace(options, normalize=False)
+                    )
+                total_power = np.mean(np.abs(raw) ** 2, axis=-1)
+                if np.any(total_power <= 0):
+                    raise ConfigurationError("constellation has no power")
+                points = (
+                    raw / np.sqrt(total_power)[:, None]
+                    if options.normalize
+                    else raw
+                )
+                effective = np.empty(len(indices), dtype=np.float64)
+                for position, index in enumerate(indices):
+                    variance = variances[index]
+                    if variance is None:
+                        effective[position] = self.noise_variance
+                    else:
+                        if variance < 0:
+                            raise ConfigurationError(
+                                "chip_noise_variance must be >= 0"
+                            )
+                        # Same rescale-and-guard as the scalar path.
+                        effective[position] = min(
+                            variance / float(total_power[position]), 0.9
+                        )
+                estimates = estimate_cumulants_batch(points, effective)
+                with telemetry.span("defense.voronoi_test"):
+                    target = np.array([1.0, -1.0])
+                    for position, index in enumerate(indices):
+                        estimate = estimates[position]
+                        feature = self.feature_vector(estimate)
+                        distance_squared = float(
+                            np.sum((feature - target) ** 2)
+                        )
+                        hypothesis = (
+                            Hypothesis.WIFI_ATTACKER
+                            if distance_squared >= self.threshold
+                            else Hypothesis.ZIGBEE_TRANSMITTER
+                        )
+                        results[index] = DetectionResult(
+                            hypothesis=hypothesis,
+                            distance_squared=distance_squared,
+                            feature=feature,
+                            cumulants=estimate,
+                        )
+        if telemetry.enabled:
+            for result in results:
+                verdict = "emulated" if result.is_attack else "authentic"
+                telemetry.count("detector.decisions", verdict=verdict)
+                telemetry.observe(
+                    "detector.distance_squared", result.distance_squared
+                )
+        return [result for result in results if result is not None]
 
     def classify(self, soft_chips: np.ndarray) -> Hypothesis:
         """Convenience wrapper returning only the hypothesis."""

@@ -1,10 +1,12 @@
 """Engine throughput baseline: measure, compare to serial, persist.
 
-``write_engine_baseline`` runs one engine-backed experiment twice — the
-in-process sequential executor, then the worker pool — verifies the rows
-are identical (the engine's determinism contract), and writes a JSON
-baseline with trials/sec and speedup so future PRs have a performance
-trajectory to regress against::
+``write_engine_baseline`` runs one engine-backed experiment three times
+— the scalar serial oracle, the batched serial path, and the batched
+worker pool — verifies all rows are identical (the engine's determinism
+contract, across both worker counts and execution paths), and writes a
+JSON baseline with trials/sec, batched-vs-scalar speedup, and a
+per-stage timing breakdown so future PRs have a performance trajectory
+to regress against::
 
     repro-experiments bench-engine --trials 200 --workers 4
 
@@ -35,10 +37,40 @@ def default_bench_workers() -> int:
     return min(4, os.cpu_count() or 1)
 
 
+#: Receive-chain stage spans surfaced as ``stage_seconds`` in the
+#: baseline (aggregated over the whole batched serial leg's span tree).
+STAGE_SPANS = (
+    "channel.awgn",
+    "zigbee.channelize",
+    "zigbee.sync",
+    "zigbee.demodulate",
+    "zigbee.despread",
+    "defense.constellation",
+    "defense.cumulants",
+    "defense.voronoi_test",
+)
+
+
 def _timed_run(entry, **kwargs) -> Dict[str, Any]:
     with stopwatch() as timer:
         result = entry.run(**kwargs)
     return {"result": result, "seconds": timer.seconds}
+
+
+def _aggregate_stage_seconds(node) -> Dict[str, float]:
+    """Total seconds per stage span name across a span subtree."""
+    totals: Dict[str, float] = {}
+
+    def _walk(span) -> None:
+        if span.name in STAGE_SPANS:
+            totals[span.name] = (
+                totals.get(span.name, 0.0) + span.total_seconds
+            )
+        for child in span.children.values():
+            _walk(child)
+
+    _walk(node)
+    return {name: round(seconds, 3) for name, seconds in totals.items()}
 
 
 def measure_engine_throughput(
@@ -47,12 +79,23 @@ def measure_engine_throughput(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     seed: int = 0,
+    batch: bool = True,
 ) -> Dict[str, Any]:
-    """Serial-vs-parallel wall clock for one engine-backed experiment.
+    """Scalar-vs-batched and serial-vs-parallel wall clock for one run.
+
+    Three legs: the scalar serial oracle (``batch=False``), the batched
+    serial path, and the batched parallel path.  ``serial_*`` fields
+    describe the engine's default serial execution (batched when the
+    experiment supports it), keeping the baseline schema readable by
+    pre-batching tooling; ``scalar_*`` and ``batched_speedup`` record
+    the vectorization win and ``stage_seconds`` the per-stage breakdown
+    of the batched serial leg.
 
     ``workers=None`` resolves to :func:`default_bench_workers` so the
     recorded speedup reflects real parallelism on this host.
     """
+    import inspect
+
     entry = get_experiment(experiment_id)
     if workers is None:
         workers = default_bench_workers()
@@ -66,17 +109,37 @@ def measure_engine_throughput(
             f"min(4, host CPUs)",
             RuntimeWarning,
         )
+    supports_batch = "batch" in inspect.signature(entry.run).parameters
+    batched = batch and supports_batch
     common = {"rng": seed, "trials": trials}
-    # Record engine counters for both legs so the baseline carries the
-    # same failure-class telemetry the run registry gates on.
+    # Record engine counters across every leg so the baseline carries
+    # the same failure-class telemetry the run registry gates on.
     telemetry = get_telemetry()
     was_enabled = telemetry.enabled
     telemetry.reset()
     telemetry.enable()
     try:
-        serial = _timed_run(entry, **common)
-        parallel = _timed_run(
-            entry, workers=workers, chunk_size=chunk_size, **common
+        scalar = None
+        if batched:
+            with telemetry.span("bench.scalar_serial"):
+                scalar = _timed_run(entry, batch=False, **common)
+            with telemetry.span("bench.batched_serial"):
+                serial = _timed_run(entry, **common)
+            with telemetry.span("bench.batched_parallel"):
+                parallel = _timed_run(
+                    entry, workers=workers, chunk_size=chunk_size, **common
+                )
+        else:
+            with telemetry.span("bench.serial"):
+                serial = _timed_run(entry, **common)
+            with telemetry.span("bench.parallel"):
+                parallel = _timed_run(
+                    entry, workers=workers, chunk_size=chunk_size, **common
+                )
+        serial_leg = "bench.batched_serial" if batched else "bench.serial"
+        leg_node = telemetry.root.children.get(serial_leg)
+        stage_seconds = (
+            _aggregate_stage_seconds(leg_node) if leg_node is not None else {}
         )
         counters = telemetry.registry.snapshot()["counters"]
     finally:
@@ -84,16 +147,23 @@ def measure_engine_throughput(
         telemetry.reset()
         if was_enabled:
             telemetry.enable()
-    # Row-level equality is the engine's core guarantee; surface any
+    # Row-level equality is the engine's core guarantee — across worker
+    # counts AND across the scalar/batched execution paths; surface any
     # violation in the baseline rather than silently recording timings.
     rows_identical = serial["result"].rows == parallel["result"].rows
+    if scalar is not None:
+        rows_identical = (
+            rows_identical and scalar["result"].rows == serial["result"].rows
+        )
     speedup = serial["seconds"] / parallel["seconds"]
-    return {
+    baseline = {
+        "schema": 2,
         "experiment_id": experiment_id,
         "trials": trials,
         "workers": workers,
         "chunk_size": chunk_size,
         "seed": seed,
+        "batch": batched,
         "serial_seconds": round(serial["seconds"], 3),
         "parallel_seconds": round(parallel["seconds"], 3),
         "speedup": round(speedup, 3),
@@ -102,11 +172,21 @@ def measure_engine_throughput(
         "rows_identical": rows_identical,
         "host_cpus": os.cpu_count(),
         "oversubscribed": oversubscribed,
+        "stage_seconds": stage_seconds,
         "git_rev": git_revision(),
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "host": host_info(),
         "telemetry_counters": counters,
     }
+    if scalar is not None:
+        baseline["scalar_seconds"] = round(scalar["seconds"], 3)
+        baseline["scalar_trials_per_second"] = round(
+            trials / scalar["seconds"], 2
+        )
+        baseline["batched_speedup"] = round(
+            scalar["seconds"] / serial["seconds"], 3
+        )
+    return baseline
 
 
 def write_engine_baseline(
@@ -116,6 +196,7 @@ def write_engine_baseline(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     seed: int = 0,
+    batch: bool = True,
 ) -> Dict[str, Any]:
     """Measure engine throughput and persist the JSON baseline."""
     baseline = measure_engine_throughput(
@@ -124,6 +205,7 @@ def write_engine_baseline(
         workers=workers,
         chunk_size=chunk_size,
         seed=seed,
+        batch=batch,
     )
     with open(path, "w") as handle:
         json.dump(baseline, handle, indent=2)

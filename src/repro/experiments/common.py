@@ -190,6 +190,50 @@ def transmit_once(
             return None
 
 
+def transmit_batch(
+    prepared: PreparedLink,
+    receiver: ZigBeeReceiver,
+    snr_db: Optional[float],
+    rngs: Sequence[np.random.Generator],
+) -> List[Optional[ReceivedPacket]]:
+    """Batched :func:`transmit_once`: one noise realization per RNG.
+
+    The prepared waveform is normalized once; each row's noise is drawn
+    with the exact same 1-D generator calls :class:`AwgnChannel` makes
+    (so row ``r`` is bit-identical to ``transmit_once`` with ``rngs[r]``)
+    and the whole stack goes through the receiver's batched chain.
+    """
+    from repro.utils.signal_ops import db_to_linear, normalize_power
+
+    telemetry = get_telemetry()
+    if not rngs:
+        return []
+    with telemetry.span("experiment.transmit_batch"):
+        waveform = prepared.on_air
+        samples = waveform.samples
+        if snr_db is None:
+            stacked = np.tile(samples, (len(rngs), 1))
+        else:
+            with telemetry.span("channel.awgn"):
+                normalized = normalize_power(samples)
+                noise_variance = 1.0 / db_to_linear(snr_db)
+                scale = np.sqrt(noise_variance / 2.0)
+                stacked = np.empty(
+                    (len(rngs), normalized.size), dtype=np.complex128
+                )
+                for row, generator in enumerate(rngs):
+                    noise = scale * (
+                        generator.standard_normal(normalized.size)
+                        + 1j * generator.standard_normal(normalized.size)
+                    )
+                    stacked[row] = normalized + noise
+        packets = receiver.receive_batch(stacked, waveform.sample_rate_hz)
+        for packet in packets:
+            if packet is None:
+                telemetry.count("experiment.sync_lost")
+        return packets
+
+
 def packet_delivered(prepared: PreparedLink, packet: Optional[ReceivedPacket]) -> bool:
     """The paper's success criterion for one transmission."""
     if packet is None or not packet.fcs_ok or packet.psdu is None:

@@ -16,8 +16,8 @@ import numpy as np
 
 from repro.defense.detector import CumulantDetector, DetectionResult
 from repro.experiments.checkpoint import CheckpointStore
-from repro.experiments.common import PreparedLink, transmit_once
-from repro.experiments.engine import EngineSession, MonteCarloEngine
+from repro.experiments.common import PreparedLink, transmit_batch, transmit_once
+from repro.experiments.engine import EngineSession, MonteCarloEngine, batch_trial
 from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike
 from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
@@ -110,6 +110,53 @@ def statistic_trial(
     )
 
 
+@batch_trial
+def statistic_trial_batch(
+    context: Dict[str, Any],
+    args: Tuple[Any, ...],
+    rngs: List[np.random.Generator],
+) -> List[Optional[StatisticSample]]:
+    """Batched :func:`statistic_trial`: one row per RNG, bit-identical.
+
+    Receptions go through the receiver's batched chain and all decoded
+    packets are screened in one :meth:`CumulantDetector.statistic_batch`
+    call; rows that never reach the defense stay ``None`` exactly like
+    the scalar trial.
+    """
+    link_key, chip_source, noise_corrected, snr_db = args
+    prepared = context[link_key]
+    rx = context["receiver"]
+    packets = transmit_batch(prepared, rx, snr_db, rngs)
+    rows: List[Optional[StatisticSample]] = [None] * len(packets)
+    eligible: List[int] = []
+    chips_rows: List[np.ndarray] = []
+    variances: List[Optional[float]] = []
+    for index, packet in enumerate(packets):
+        if packet is None or not packet.decoded:
+            continue
+        chips = extract_chips(packet, chip_source)
+        if chips.size < 8:
+            continue
+        eligible.append(index)
+        chips_rows.append(chips)
+        variances.append(
+            chip_noise_variance_for(
+                packet, chip_source, rx.config.samples_per_chip
+            )
+            if noise_corrected
+            else None
+        )
+    if eligible:
+        detections = context["detector"].statistic_batch(chips_rows, variances)
+        for index, detection in zip(eligible, detections):
+            rows[index] = StatisticSample(
+                distance_squared=detection.distance_squared,
+                detection=detection,
+                snr_db=snr_db,
+            )
+    return rows
+
+
 def collect_statistics(
     prepared: Optional[PreparedLink],
     detector: Optional[CumulantDetector],
@@ -121,6 +168,7 @@ def collect_statistics(
     noise_corrected: bool = False,
     session: Optional[EngineSession] = None,
     link_key: str = "link",
+    batch: bool = False,
 ) -> List[StatisticSample]:
     """Gather D_E^2 over ``count`` independent noisy receptions.
 
@@ -136,6 +184,8 @@ def collect_statistics(
             the engine (possibly in worker processes) and ``prepared`` /
             ``detector`` / ``receiver`` are ignored.
         link_key: which context entry carries the link under ``session``.
+        batch: run the vectorized batched trial (bit-identical to the
+            scalar trial at the same seed).
     """
     if chip_source not in CHIP_SOURCES:
         raise ValueError(f"chip_source must be one of {CHIP_SOURCES}")
@@ -147,7 +197,8 @@ def collect_statistics(
             "detector": detector,
         }
         session = MonteCarloEngine().session(context)
-    samples = session.run(statistic_trial, count, rng=rng, static_args=static_args)
+    trial = statistic_trial_batch if batch else statistic_trial
+    samples = session.run(trial, count, rng=rng, static_args=static_args)
     return [sample for sample in samples if sample is not None]
 
 
@@ -161,6 +212,7 @@ def collect_distances(
     noise_corrected: bool = False,
     store: Optional[CheckpointStore] = None,
     key: Optional[str] = None,
+    batch: bool = False,
 ) -> List[float]:
     """D_E^2 values for one sweep point, checkpoint-aware.
 
@@ -184,7 +236,7 @@ def collect_distances(
         for sample in collect_statistics(
             None, None, snr_db, count, rng=rng, chip_source=chip_source,
             noise_corrected=noise_corrected, session=session,
-            link_key=link_key,
+            link_key=link_key, batch=batch,
         )
     ]
     if store is not None and key is not None:

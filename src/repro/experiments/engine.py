@@ -92,6 +92,8 @@ from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, spawn_seeds
 
 #: A single Monte Carlo trial: ``trial(context, static_args, rng)``.
+#: Batched trials (see :func:`batch_trial`) instead receive a list of
+#: per-trial generators and return one result row per generator.
 TrialFn = Callable[[Dict[str, Any], Tuple[Any, ...], np.random.Generator], Any]
 
 #: Chunks target this many dispatches per worker when no explicit
@@ -123,6 +125,51 @@ POOL_CRASH_EXCEPTIONS = (BrokenProcessPool, FuturesTimeoutError)
 
 class InjectedFaultError(RuntimeError):
     """A synthetic trial failure raised by the fault-injection drill."""
+
+
+def batch_trial(trial: Callable) -> Callable:
+    """Mark a trial function as batched (``trial.batch = True``).
+
+    A batched trial has the signature ``trial(context, static_args,
+    rngs)`` where ``rngs`` is a *list* of per-trial generators — one per
+    trial in the chunk, each freshly built from that trial's own spawned
+    stream seed in trial order — and must return one result row per
+    generator, in the same order.  Because every generator is identical
+    to the one the scalar path would hand that trial, a batched trial
+    whose kernels are row-independent produces rows bit-identical to the
+    scalar path at the same seed, for any workers/chunk size.
+    """
+    trial.batch = True
+    return trial
+
+
+def _is_batch_trial(trial: Callable) -> bool:
+    """Whether ``trial`` opted into the batched calling convention."""
+    return bool(getattr(trial, "batch", False))
+
+
+def _call_trial(
+    trial: TrialFn,
+    context: Optional[Dict[str, Any]],
+    static_args: Tuple[Any, ...],
+    rng: np.random.Generator,
+) -> Any:
+    """Invoke one trial through its declared calling convention.
+
+    Batched trials execute as a single-row batch here, which is exactly
+    how the scalar oracle for a batched trial is defined — so retries
+    and fallback executions of batched trials reproduce batch rows
+    bit-for-bit.
+    """
+    if _is_batch_trial(trial):
+        rows = trial(context, static_args, [rng])
+        if len(rows) != 1:
+            raise ConfigurationError(
+                f"batched trial {getattr(trial, '__name__', trial)!r} "
+                f"returned {len(rows)} rows for 1 generator"
+            )
+        return rows[0]
+    return trial(context, static_args, rng)
 
 
 @dataclass
@@ -179,6 +226,8 @@ def _execute_trial(
     seed: int,
     on_error: str,
     max_retries: int,
+    start_attempt: int = 1,
+    prior_failure: Optional[TrialFailure] = None,
 ) -> Tuple[Any, Optional[TrialFailure], int]:
     """Run one trial under the isolation policy.
 
@@ -188,16 +237,23 @@ def _execute_trial(
     uniformly across execution paths.  Retries rebuild the generator
     from the **same seed**, so a trial that recovers from a transient
     fault returns the bit-identical value of an unfaulted run.
+
+    The batched executor pre-checks the fault drill per item; when an
+    item already failed its first attempt there, it finishes here with
+    ``start_attempt=2`` and the captured ``prior_failure``, keeping the
+    retry/failure accounting identical to the scalar path.
     """
     telemetry = get_telemetry()
     attempts = 1 + (max_retries if on_error == "retry" else 0)
-    failure: Optional[TrialFailure] = None
-    for attempt in range(1, attempts + 1):
+    failure: Optional[TrialFailure] = prior_failure
+    for attempt in range(start_attempt, attempts + 1):
         if attempt > 1:
             telemetry.count("engine.retries")
         try:
             _maybe_inject_fault(seed)
-            value = trial(context, static_args, np.random.default_rng(seed))
+            value = _call_trial(
+                trial, context, static_args, np.random.default_rng(seed)
+            )
             return value, None, attempt
         except ISOLATED_TRIAL_EXCEPTIONS as error:
             failure = TrialFailure(
@@ -211,6 +267,87 @@ def _execute_trial(
     telemetry.count("engine.trial_failures")
     telemetry.count("engine.trial_failures", type=failure.exception_type)
     return None, failure, failure.attempts
+
+
+def _run_batch_items(
+    trial: TrialFn,
+    context: Optional[Dict[str, Any]],
+    static_args: Tuple[Any, ...],
+    items: Sequence[Tuple[int, int]],
+    on_error: str,
+    max_retries: int,
+) -> List[Tuple[int, Any, Optional[TrialFailure], int]]:
+    """Execute one chunk of items through a batched trial function.
+
+    The chunk's healthy items run as **one** batch call receiving a list
+    of generators rebuilt from each item's own stream seed, in item
+    order — so each row sees exactly the generator the scalar path would
+    hand it.  Items the fault drill pre-fails (and every item, should
+    the batch call itself raise) degrade to the scalar executor, whose
+    single-row batch calls reproduce batch rows bit-for-bit; retry and
+    failure accounting therefore matches the scalar path exactly.
+    """
+    telemetry = get_telemetry()
+    results: List[Optional[Tuple[int, Any, Optional[TrialFailure], int]]] = (
+        [None] * len(items)
+    )
+    clean: List[Tuple[int, int, int]] = []
+    prefailed: List[Tuple[int, int, int, TrialFailure]] = []
+    for position, (index, seed) in enumerate(items):
+        try:
+            _maybe_inject_fault(seed)
+        except InjectedFaultError as error:
+            prefailed.append(
+                (
+                    position,
+                    index,
+                    seed,
+                    TrialFailure(
+                        trial_index=index,
+                        seed=seed,
+                        exception_type=type(error).__name__,
+                        message=str(error),
+                        traceback=traceback_module.format_exc(),
+                        attempts=1,
+                    ),
+                )
+            )
+        else:
+            clean.append((position, index, seed))
+    if clean:
+        rngs = [np.random.default_rng(seed) for _, _, seed in clean]
+        rows: Optional[Sequence[Any]] = None
+        try:
+            rows = trial(context, static_args, rngs)
+            if len(rows) != len(rngs):
+                raise ConfigurationError(
+                    f"batched trial {getattr(trial, '__name__', trial)!r} "
+                    f"returned {len(rows)} rows for {len(rngs)} generators"
+                )
+        except ISOLATED_TRIAL_EXCEPTIONS:
+            # The whole batch call failed; fall back to per-item scalar
+            # execution so one poisoned realization cannot take down its
+            # chunk siblings and the isolation policy applies per trial.
+            telemetry.count("engine.batch_fallbacks")
+            rows = None
+        if rows is not None:
+            telemetry.count("engine.batched_trials", len(clean))
+            for (position, index, _seed), row in zip(clean, rows):
+                results[position] = (index, row, None, 1)
+        else:
+            for position, index, seed in clean:
+                value, failure, attempts = _execute_trial(
+                    trial, context, static_args, index, seed,
+                    on_error, max_retries,
+                )
+                results[position] = (index, value, failure, attempts)
+    for position, index, seed, failure in prefailed:
+        value, final_failure, attempts = _execute_trial(
+            trial, context, static_args, index, seed, on_error, max_retries,
+            start_attempt=2, prior_failure=failure,
+        )
+        results[position] = (index, value, final_failure, attempts)
+    return [outcome for outcome in results if outcome is not None]
 
 
 def _worker_init(context: Dict[str, Any], telemetry_enabled: bool) -> None:
@@ -245,13 +382,18 @@ def _run_chunk(
     if telemetry.enabled:
         telemetry.reset()
         telemetry.enable()
-    results = []
-    for index, seed in items:
-        value, failure, attempts = _execute_trial(
-            trial, _WORKER_CONTEXT, static_args, index, seed,
-            on_error, max_retries,
+    if _is_batch_trial(trial):
+        results = _run_batch_items(
+            trial, _WORKER_CONTEXT, static_args, items, on_error, max_retries
         )
-        results.append((index, value, failure, attempts))
+    else:
+        results = []
+        for index, seed in items:
+            value, failure, attempts = _execute_trial(
+                trial, _WORKER_CONTEXT, static_args, index, seed,
+                on_error, max_retries,
+            )
+            results.append((index, value, failure, attempts))
     state = telemetry.dump_state() if telemetry.enabled else None
     return results, state
 
@@ -406,6 +548,25 @@ class EngineSession:
         """
         engine = self._engine
         stream = get_event_stream()
+        if _is_batch_trial(trial):
+            outcomes = _run_batch_items(
+                trial, self._context, static_args, items,
+                engine.on_error, engine.max_retries,
+            )
+            chunk_failures: List[TrialFailure] = []
+            for index, value, failure, attempts in outcomes:
+                results[index] = value
+                self._emit_trial_events(stream, failure, attempts, index)
+                if failure is not None:
+                    chunk_failures.append(failure)
+            if outcomes:
+                stream.heartbeat(len(outcomes))
+            if chunk_failures:
+                if failures is None:
+                    self._settle_failures(chunk_failures)
+                else:
+                    failures.extend(chunk_failures)
+            return
         completed = 0
         for index, seed in items:
             value, failure, attempts = _execute_trial(

@@ -18,7 +18,7 @@ with results bit-identical to the serial run at the same seed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.experiments.common import (
     prepare_authentic,
     prepare_emulated,
 )
-from repro.experiments.engine import MonteCarloEngine
+from repro.experiments.engine import MonteCarloEngine, batch_trial
 from repro.hardware.cc26x2 import cc26x2_receiver_config
 from repro.hardware.rssi import RssiEstimator
 from repro.hardware.usrp import usrp_receiver_config
@@ -64,6 +64,45 @@ def _link_trial(
     return decoded, packet_delivered(prepared, packet), hamming
 
 
+@batch_trial
+def _link_trial_batch(
+    context: Dict[str, Any],
+    args: Tuple[Any, ...],
+    rngs: List[np.random.Generator],
+) -> List[Optional[Tuple[np.ndarray, bool, Optional[np.ndarray]]]]:
+    """Batched :func:`_link_trial`: one propagated reception per RNG.
+
+    Each row's channel realization is applied on the 1-D waveform with
+    that row's own spawned streams — the exact draws the scalar trial
+    makes — and the noisy rows go through the receiver's batched chain,
+    so every row is bit-identical to the scalar trial at the same seed.
+    """
+    link_key, rx_name, distance, loss_db = args
+    prepared = context[link_key]
+    receiver = context["receivers"][rx_name]
+    waveform = prepared.on_air
+    stacked = np.empty(
+        (len(rngs), waveform.samples.size), dtype=np.complex128
+    )
+    for row, rng in enumerate(rngs):
+        channel = context["env"].channel_at(
+            distance, extra_loss_db=loss_db, rng=rng
+        )
+        stacked[row] = channel.apply(waveform).samples
+    packets = receiver.receive_batch(stacked, waveform.sample_rate_hz)
+    rows: List[Optional[Tuple[np.ndarray, bool, Optional[np.ndarray]]]] = []
+    for packet in packets:
+        if packet is None:
+            rows.append(None)
+            continue
+        rows.append((
+            packet.diagnostics.psdu_symbols,
+            packet_delivered(prepared, packet),
+            packet.diagnostics.hamming_distances,
+        ))
+    return rows
+
+
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8),
     trials: int = 10,
@@ -73,12 +112,14 @@ def run(
     on_error: str = "raise",
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    batch: bool = True,
 ) -> ExperimentResult:
     """Error-rate sweep over distance for both receivers and waveforms.
 
     ``checkpoint_dir``/``resume`` persist (and skip) each completed
     (distance, receiver, waveform) cell; ``on_error`` selects the
-    engine's trial-failure policy.
+    engine's trial-failure policy; ``batch`` runs trials through the
+    vectorized batched receive chain (bit-identical to scalar).
     """
     distances = list(distances_m)
     store = open_checkpoint_store(checkpoint_dir, "fig14", fingerprint={
@@ -137,7 +178,7 @@ def run(
             if row is None:
                 stream.point_started("fig14", cell_key, trials=trials)
                 outcomes = session.run(
-                    _link_trial,
+                    _link_trial_batch if batch else _link_trial,
                     trials,
                     rng=cell_rng,
                     static_args=(label, rx_name, distance, losses[rx_name]),

@@ -18,7 +18,7 @@ the same seed).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,9 +29,10 @@ from repro.experiments.common import (
     packet_delivered,
     prepare_authentic,
     prepare_emulated,
+    transmit_batch,
     transmit_once,
 )
-from repro.experiments.engine import MonteCarloEngine
+from repro.experiments.engine import MonteCarloEngine, batch_trial
 from repro.hardware.usrp import gnuradio_simulation_receiver_config
 from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -69,6 +70,46 @@ def _authentic_trial(
     )
 
 
+@batch_trial
+def _emulated_trial_batch(
+    context: Dict[str, Any],
+    args: Tuple[Any, ...],
+    rngs: List[np.random.Generator],
+) -> List[Tuple[bool, bool, bool]]:
+    """Batched :func:`_emulated_trial`: one row per RNG, bit-identical."""
+    (snr,) = args
+    prepared = context["emulated"]
+    packets = transmit_batch(prepared, context["receiver"], snr, rngs)
+    detector = context["detector"]
+    rows: List[List[bool]] = []
+    eligible: List[Tuple[int, np.ndarray]] = []
+    for index, packet in enumerate(packets):
+        rows.append([packet_delivered(prepared, packet), False, False])
+        if detector is not None and packet is not None and packet.decoded:
+            chips = packet.diagnostics.psdu_quadrature_soft_chips
+            if chips.size >= 64:
+                eligible.append((index, chips))
+    if eligible:
+        results = detector.statistic_batch([chips for _, chips in eligible])
+        for (index, _), result in zip(eligible, results):
+            rows[index][1] = True
+            rows[index][2] = bool(result.is_attack)
+    return [tuple(row) for row in rows]
+
+
+@batch_trial
+def _authentic_trial_batch(
+    context: Dict[str, Any],
+    args: Tuple[Any, ...],
+    rngs: List[np.random.Generator],
+) -> List[bool]:
+    """Batched :func:`_authentic_trial`: one delivery flag per RNG."""
+    (snr,) = args
+    prepared = context["authentic"]
+    packets = transmit_batch(prepared, context["receiver"], snr, rngs)
+    return [packet_delivered(prepared, packet) for packet in packets]
+
+
 def run(
     snrs_db: Sequence[float] = (7, 9, 11, 13, 15, 17),
     trials: int = 100,
@@ -80,6 +121,7 @@ def run(
     on_error: str = "raise",
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    batch: bool = True,
 ) -> ExperimentResult:
     """Sweep attack success rate over SNR.
 
@@ -97,6 +139,9 @@ def run(
         checkpoint_dir: persist each completed SNR point atomically.
         resume: skip SNR points already completed under
             ``checkpoint_dir`` (requires the same integer seed/params).
+        batch: run trials through the vectorized batched receive chain
+            (bit-identical to the scalar path at the same seed; disable
+            to force the scalar oracle).
     """
     snrs = list(snrs_db)
     store = open_checkpoint_store(checkpoint_dir, "table2", fingerprint={
@@ -130,6 +175,8 @@ def run(
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
     )
+    emulated_trial = _emulated_trial_batch if batch else _emulated_trial
+    authentic_trial = _authentic_trial_batch if batch else _authentic_trial
     stream = get_event_stream()
     pending = [
         snr for snr in snrs
@@ -147,7 +194,7 @@ def run(
                 continue
             stream.point_started("table2", point_key, trials=trials)
             outcomes = session.run(
-                _emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
+                emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
             )
             outcomes = [o for o in outcomes if o is not None]
             successes = sum(delivered for delivered, _, _ in outcomes)
@@ -166,7 +213,7 @@ def run(
                 )
             if include_authentic:
                 delivered = session.run(
-                    _authentic_trial, trials, rng=rngs[2 * i + 1],
+                    authentic_trial, trials, rng=rngs[2 * i + 1],
                     static_args=(snr,),
                 )
                 row["authentic_success_rate"] = (

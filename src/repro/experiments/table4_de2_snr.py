@@ -40,6 +40,7 @@ def run(
     on_error: str = "raise",
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    batch: bool = True,
 ) -> ExperimentResult:
     """Average D_E^2 per class per SNR.
 
@@ -53,6 +54,8 @@ def run(
         on_error: engine trial-failure policy (``raise``/``retry``/``skip``).
         checkpoint_dir: persist each completed (SNR, class) point.
         resume: skip points already completed under ``checkpoint_dir``.
+        batch: run trials through the vectorized batched receive chain
+            (bit-identical to the scalar path at the same seed).
     """
     snrs = list(snrs_db)
     store = open_checkpoint_store(checkpoint_dir, "table4", fingerprint={
@@ -92,12 +95,12 @@ def run(
             zigbee_values = collect_distances(
                 session, "zigbee", snr, waveforms_per_point,
                 rng=rngs[2 * i], chip_source=chip_source,
-                store=store, key=f"snr{snr:g}.zigbee",
+                store=store, key=f"snr{snr:g}.zigbee", batch=batch,
             )
             emulated_values = collect_distances(
                 session, "emulated", snr, waveforms_per_point,
                 rng=rngs[2 * i + 1], chip_source=chip_source,
-                store=store, key=f"snr{snr:g}.emulated",
+                store=store, key=f"snr{snr:g}.emulated", batch=batch,
             )
             zigbee_mean = mean_or_nan(zigbee_values)
             emulated_mean = mean_or_nan(emulated_values)

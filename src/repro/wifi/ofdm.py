@@ -80,6 +80,31 @@ def ofdm_demodulate_symbol(samples: np.ndarray) -> np.ndarray:
     return np.fft.fft(array[CP_LENGTH:]) / np.sqrt(FFT_SIZE)
 
 
+def ofdm_demodulate_symbols(samples: np.ndarray) -> np.ndarray:
+    """Strip cyclic prefixes and FFT a stack of OFDM symbols at once.
+
+    Accepts a (num_symbols, 80) stack or a flat waveform whose length is
+    a whole number of symbols, and returns (num_symbols, 64) frequency
+    bins from a single FFT call over the last axis — each row matches
+    :func:`ofdm_demodulate_symbol` of that symbol bit-for-bit.
+    """
+    array = np.asarray(samples, dtype=np.complex128)
+    if array.ndim == 1:
+        if array.size % SYMBOL_LENGTH != 0:
+            raise ConfigurationError(
+                f"waveform of {array.size} samples is not a whole number "
+                f"of {SYMBOL_LENGTH}-sample symbols"
+            )
+        array = array.reshape(-1, SYMBOL_LENGTH)
+    if array.ndim != 2 or array.shape[1] != SYMBOL_LENGTH:
+        raise ConfigurationError(
+            f"expected a (num_symbols, {SYMBOL_LENGTH}) stack, "
+            f"got shape {array.shape}"
+        )
+    trimmed = np.ascontiguousarray(array[:, CP_LENGTH:])
+    return np.fft.fft(trimmed, axis=-1) / np.sqrt(FFT_SIZE)
+
+
 def assemble_symbols(
     data_points: np.ndarray,
     first_symbol_index: int = 0,

@@ -30,7 +30,11 @@ from repro.wifi.constants import (
 )
 from repro.wifi.convcode import decode_with_rate
 from repro.wifi.interleaver import deinterleave
-from repro.wifi.ofdm import extract_data_subcarriers, ofdm_demodulate_symbol
+from repro.wifi.ofdm import (
+    extract_data_subcarriers,
+    ofdm_demodulate_symbol,
+    ofdm_demodulate_symbols,
+)
 from repro.wifi.preamble import ltf_frequency_sequence
 from repro.wifi.qam import modulation_for_name
 from repro.wifi.scrambler import descramble
@@ -127,10 +131,15 @@ class WifiReceiver:
                 f"waveform has {samples.size} samples, frame needs {needed}"
             )
 
+        # One FFT call over all data symbols; the per-symbol loop below
+        # only equalizes and corrects phase (pilot polarity differs per
+        # symbol), which is O(64) work each.
+        all_bins = ofdm_demodulate_symbols(
+            samples[data_start:needed].reshape(num_symbols, SYMBOL_LENGTH)
+        )
         points = np.empty(num_symbols * 48, dtype=np.complex128)
         for i in range(num_symbols):
-            start = data_start + i * SYMBOL_LENGTH
-            bins = ofdm_demodulate_symbol(samples[start : start + SYMBOL_LENGTH])
+            bins = all_bins[i]
             equalized = np.divide(
                 bins, channel, out=np.zeros_like(bins), where=channel != 0
             )

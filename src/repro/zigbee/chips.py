@@ -40,6 +40,27 @@ def chip_table() -> np.ndarray:
     return table
 
 
+@lru_cache(maxsize=1)
+def chip_table_int64() -> np.ndarray:
+    """The chip table widened to int64 for Hamming-distance arithmetic.
+
+    Despreaders previously re-cast the table on every construction; pool
+    workers unpickling a fresh receiver per context paid that cost each
+    time.  Cached here it is built once per process and shared read-only.
+    """
+    table = chip_table().astype(np.int64)
+    table.setflags(write=False)
+    return table
+
+
+@lru_cache(maxsize=1)
+def chip_table_antipodal() -> np.ndarray:
+    """The chip table mapped to +/-1 float64 for soft correlation."""
+    table = 2.0 * chip_table().astype(np.float64) - 1.0
+    table.setflags(write=False)
+    return table
+
+
 def chips_for_symbol(symbol: int) -> np.ndarray:
     """The 32-chip sequence for one hexadecimal data symbol."""
     if not 0 <= symbol < NUM_SYMBOLS:

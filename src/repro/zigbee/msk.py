@@ -18,7 +18,7 @@ well-known GNU Radio implementation.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,18 @@ def msk_chip_table() -> np.ndarray:
     return table
 
 
+@lru_cache(maxsize=1)
+def msk_usable_table_int64() -> np.ndarray:
+    """The masked (chip 0 dropped) MSK table as read-only int64.
+
+    Cached so despreader construction — once per unpickled context in
+    every pool worker — stops re-slicing and re-casting the table.
+    """
+    table = np.ascontiguousarray(msk_chip_table()[:, 1:].astype(np.int64))
+    table.setflags(write=False)
+    return table
+
+
 class MskDespreader:
     """Masked minimum-Hamming-distance decoder over frequency signs."""
 
@@ -63,7 +75,7 @@ class MskDespreader:
                 f"MSK correlation threshold must be in [0, {MSK_USABLE_CHIPS}]"
             )
         self.correlation_threshold = correlation_threshold
-        self._table = msk_chip_table()[:, 1:].astype(np.int64)
+        self._table = msk_usable_table_int64()
 
     def despread_sequence(self, freq_chips: Sequence[int]) -> DespreadDecision:
         """Decode one 32-chip frequency-sign block (chip 0 ignored)."""
@@ -84,19 +96,27 @@ class MskDespreader:
             runner_up_distance=int(distances[runner_up]),
         )
 
-    def despread(self, freq_chips: Sequence[int]) -> List[DespreadDecision]:
-        """Decode a frequency-sign stream; length must be whole symbols.
+    def despread_arrays(
+        self, freq_chips: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-form masked despreading of a (..., chips) sign stream.
 
-        Vectorized like :meth:`DsssDespreader.despread`: one broadcasted
-        distance computation over all symbols (masked chip 0 excluded).
+        Mirrors :meth:`DsssDespreader.despread_arrays`: the last axis
+        must be whole 32-chip sequences (chip 0 of each is masked) and
+        rejected sequences carry symbol ``-1``.  Integer-exact.
         """
         stream = np.asarray(freq_chips, dtype=np.int64)
-        if stream.size % CHIPS_PER_SYMBOL != 0:
+        if stream.shape[-1] % CHIPS_PER_SYMBOL != 0:
             raise DecodingError(
-                f"chip stream of {stream.size} is not a whole number of symbols"
+                f"chip stream of {stream.shape[-1]} is not a whole "
+                f"number of symbols"
             )
+        leading = stream.shape[:-1]
+        per_row = stream.shape[-1] // CHIPS_PER_SYMBOL
+        out_shape = leading + (per_row,)
         if stream.size == 0:
-            return []
+            empty = np.zeros(out_shape, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
         blocks = stream.reshape(-1, CHIPS_PER_SYMBOL)[:, 1:]
         distances = np.count_nonzero(
             blocks[:, None, :] != self._table[None, :, :], axis=2
@@ -107,13 +127,26 @@ class MskDespreader:
         rows = np.arange(blocks.shape[0])
         best_distances = distances[rows, best]
         runner_distances = distances[rows, runner_up]
+        symbols = np.where(best_distances <= self.correlation_threshold, best, -1)
+        return (
+            symbols.reshape(out_shape),
+            best_distances.reshape(out_shape),
+            runner_distances.reshape(out_shape),
+        )
+
+    def despread(self, freq_chips: Sequence[int]) -> List[DespreadDecision]:
+        """Decode a frequency-sign stream; length must be whole symbols.
+
+        Vectorized like :meth:`DsssDespreader.despread`: one broadcasted
+        distance computation over all symbols (masked chip 0 excluded).
+        """
+        stream = np.asarray(freq_chips, dtype=np.int64)
+        symbols, best_distances, runner_distances = self.despread_arrays(stream)
         return [
             DespreadDecision(
-                symbol=int(best[i])
-                if best_distances[i] <= self.correlation_threshold
-                else None,
+                symbol=int(symbols[i]) if symbols[i] >= 0 else None,
                 hamming_distance=int(best_distances[i]),
                 runner_up_distance=int(runner_distances[i]),
             )
-            for i in range(blocks.shape[0])
+            for i in range(symbols.size)
         ]

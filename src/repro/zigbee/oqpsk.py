@@ -131,12 +131,41 @@ class OqpskDemodulator:
         waveform = np.asarray(samples, dtype=np.complex128)
         if waveform.ndim != 1:
             raise ConfigurationError("waveform must be 1-D")
+        soft, hard = self.demodulate_batch(
+            waveform[np.newaxis, :],
+            num_chips,
+            phase_tracking=phase_tracking,
+            loop_gain=loop_gain,
+        )
+        return ChipSamples(soft=soft[0], hard=hard[0])
+
+    def demodulate_batch(
+        self,
+        waveforms: np.ndarray,
+        num_chips: int,
+        phase_tracking: bool = True,
+        loop_gain: float = 0.05,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-wise :meth:`demodulate` over a (batch, n) aligned stack.
+
+        Returns ``(soft, hard)`` arrays of shape (batch, num_chips).  The
+        matched-filter pair products accumulate column-by-column in index
+        order and the phase loop iterates over chip pairs operating on
+        whole-batch vectors, so each row is bit-identical to demodulating
+        that row alone — the scalar path delegates here with one row.
+        """
+        waveforms = np.asarray(waveforms, dtype=np.complex128)
+        if waveforms.ndim != 2:
+            raise ConfigurationError(
+                f"batch waveforms must be 2-D, got shape {waveforms.shape}"
+            )
         if num_chips < 0 or num_chips % 2 != 0:
             raise ConfigurationError("num_chips must be even and non-negative")
-        if num_chips > self.capacity(waveform.size):
+        batch, n = waveforms.shape
+        if num_chips > self.capacity(n):
             raise DecodingError(
-                f"waveform of {waveform.size} samples holds only "
-                f"{self.capacity(waveform.size)} chips, {num_chips} requested"
+                f"waveform of {n} samples holds only "
+                f"{self.capacity(n)} chips, {num_chips} requested"
             )
         if not 0.0 < loop_gain < 1.0:
             raise ConfigurationError("loop_gain must be in (0, 1)")
@@ -144,54 +173,58 @@ class OqpskDemodulator:
         pulse = self._pulse
         window = 2 * sps
         pairs = num_chips // 2
+        soft = np.zeros((batch, num_chips), dtype=np.float64)
         if pairs == 0:
-            return ChipSamples(
-                soft=np.zeros(0, dtype=np.float64),
-                hard=np.zeros(0, dtype=np.uint8),
-            )
+            return soft, soft.astype(np.uint8)
+
+        # Matched-filter outputs for every chip pair at once: the w-th
+        # sample of each same-rail window is a strided column slice, so
+        # the dot products accumulate sample-by-sample in index order —
+        # an order independent of the batch and pair counts.
+        z_i = np.zeros((batch, pairs), dtype=np.complex128)
+        z_q = np.zeros((batch, pairs), dtype=np.complex128)
+        for w in range(window):
+            z_i = z_i + waveforms[:, w::window][:, :pairs] * pulse[w]
+            z_q = z_q + waveforms[:, sps + w :: window][:, :pairs] * pulse[w]
 
         if not phase_tracking:
-            # Fast path: same-rail windows tile contiguously, so the whole
-            # matched-filter bank is two reshaped matrix-vector products.
-            i_windows = waveform[: pairs * window].reshape(pairs, window)
-            q_windows = waveform[sps : sps + pairs * window].reshape(pairs, window)
-            soft = np.empty(num_chips, dtype=np.float64)
-            soft[0::2] = (i_windows @ pulse).real
-            soft[1::2] = (q_windows @ pulse).imag
-            soft /= self._pulse_energy
-            hard = (soft > 0).astype(np.uint8)
-            return ChipSamples(soft=soft, hard=hard)
+            soft[:, 0::2] = z_i.real
+            soft[:, 1::2] = z_q.imag
+            soft = soft / self._pulse_energy
+            return soft, (soft > 0).astype(np.uint8)
 
-        soft = np.empty(num_chips, dtype=np.float64)
-        theta = 0.0
+        # Decision-directed phase loop: the recursion over chip pairs is
+        # inherently sequential, but each step is vectorized across the
+        # batch, replacing the former per-pair Python loop body.
+        theta = np.zeros(batch, dtype=np.float64)
         for pair in range(pairs):
-            i_start = pair * window
-            q_start = i_start + sps
-            rotation = np.exp(-1j * theta) if theta else 1.0
-            z_i = complex(np.dot(waveform[i_start : i_start + window], pulse))
-            z_q = complex(np.dot(waveform[q_start : q_start + window], pulse))
-            z_i *= rotation
-            z_q *= rotation
-            soft[2 * pair] = z_i.real
-            soft[2 * pair + 1] = z_q.imag
-            if phase_tracking:
-                error = 0.0
-                contributions = 0
-                if abs(z_i) > 1e-12:
-                    # Ideal z_i is +/-E on the real axis.
-                    error += float(np.angle(z_i * np.sign(z_i.real or 1.0)))
-                    contributions += 1
-                if abs(z_q) > 1e-12:
-                    # Ideal z_q is +/-jE; rotate onto the real axis first.
-                    error += float(
-                        np.angle(z_q * -1j * np.sign(z_q.imag or 1.0))
-                    )
-                    contributions += 1
-                if contributions:
-                    theta += loop_gain * error / contributions
-        soft /= self._pulse_energy
-        hard = (soft > 0).astype(np.uint8)
-        return ChipSamples(soft=soft, hard=hard)
+            rotation = np.where(theta == 0.0, 1.0 + 0.0j, np.exp(-1j * theta))
+            pair_i = z_i[:, pair] * rotation
+            pair_q = z_q[:, pair] * rotation
+            soft[:, 2 * pair] = pair_i.real
+            soft[:, 2 * pair + 1] = pair_q.imag
+            # Ideal pair_i is +/-E on the real axis; ideal pair_q is
+            # +/-jE and is rotated onto the real axis first.  Zero-signed
+            # components fall back to +1 exactly like `x or 1.0` did.
+            sign_i = np.sign(pair_i.real)
+            sign_i = np.where(sign_i == 0.0, 1.0, sign_i)
+            sign_q = np.sign(pair_q.imag)
+            sign_q = np.where(sign_q == 0.0, 1.0, sign_q)
+            use_i = np.abs(pair_i) > 1e-12
+            use_q = np.abs(pair_q) > 1e-12
+            error = np.where(use_i, np.angle(pair_i * sign_i), 0.0)
+            error = error + np.where(
+                use_q, np.angle(pair_q * -1j * sign_q), 0.0
+            )
+            contributions = use_i.astype(np.int64) + use_q.astype(np.int64)
+            divisor = np.where(contributions > 0, contributions, 1)
+            theta = np.where(
+                contributions > 0,
+                theta + loop_gain * error / divisor,
+                theta,
+            )
+        soft = soft / self._pulse_energy
+        return soft, (soft > 0).astype(np.uint8)
 
 
 def chips_to_constellation(soft_chips: Sequence[float]) -> np.ndarray:

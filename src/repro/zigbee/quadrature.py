@@ -21,6 +21,8 @@ mixes adjacent chips (inter-chip interference at low oversampling).
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.errors import ConfigurationError, DecodingError
@@ -55,20 +57,45 @@ class QuadratureDemodulator:
         waveform = np.asarray(samples, dtype=np.complex128)
         if waveform.ndim != 1:
             raise ConfigurationError("waveform must be 1-D")
+        soft, hard = self.demodulate_batch(waveform[np.newaxis, :], num_chips)
+        return ChipSamples(soft=soft[0], hard=hard[0])
+
+    def demodulate_batch(
+        self, waveforms: np.ndarray, num_chips: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-wise :meth:`demodulate` over a (batch, n) aligned stack.
+
+        Returns ``(soft, hard)`` of shape (batch, num_chips); every
+        operation reduces along the last axis only, so each row matches
+        a scalar demodulation of that row bit-for-bit.
+        """
+        waveforms = np.asarray(waveforms, dtype=np.complex128)
+        if waveforms.ndim != 2:
+            raise ConfigurationError(
+                f"batch waveforms must be 2-D, got shape {waveforms.shape}"
+            )
         if num_chips < 0:
             raise ConfigurationError("num_chips must be non-negative")
-        if num_chips > self.capacity(waveform.size):
+        batch, n = waveforms.shape
+        if num_chips > self.capacity(n):
             raise DecodingError(
-                f"waveform of {waveform.size} samples holds only "
-                f"{self.capacity(waveform.size)} chips, {num_chips} requested"
+                f"waveform of {n} samples holds only "
+                f"{self.capacity(n)} chips, {num_chips} requested"
             )
         sps = self.samples_per_chip
-        steps = np.angle(waveform[1:] * np.conj(waveform[:-1]))
+        # The differential product runs row-by-row on 1-D views: numpy's
+        # SIMD kernels for strided 2-D complex multiplies pick different
+        # code paths (FMA/tail handling) depending on the batch shape,
+        # which would break bit-identity between batch sizes.
+        steps = np.empty((batch, max(n - 1, 0)), dtype=np.float64)
+        for row in range(batch):
+            line = waveforms[row]
+            steps[row] = np.angle(line[1:] * np.conj(line[:-1]))
         # Chip n sums its within-chip steps [n*sps, (n+1)*sps - 1); the
         # boundary step is excluded (it straddles two chips).
         needed = num_chips * sps
-        blocks = steps[:needed].reshape(num_chips, sps)
-        soft = blocks[:, : sps - 1].sum(axis=1)
+        blocks = steps[:, :needed].reshape(batch, num_chips, sps)
+        soft = blocks[:, :, : sps - 1].sum(axis=-1)
         soft = soft / ((sps - 1) * np.pi / (2.0 * sps))
         hard = (soft > 0).astype(np.uint8)
-        return ChipSamples(soft=soft, hard=hard)
+        return soft, hard

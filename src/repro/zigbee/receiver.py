@@ -23,7 +23,13 @@ from repro.errors import (
     SynchronizationError,
 )
 from repro.telemetry import get_telemetry
-from repro.utils.signal_ops import Waveform, lowpass_filter, polyphase_resample
+from repro.utils.signal_ops import (
+    Waveform,
+    lowpass_filter,
+    lowpass_filter_batch,
+    polyphase_resample,
+    polyphase_resample_batch,
+)
 from repro.zigbee.constants import (
     CHIPS_PER_SYMBOL,
     DEFAULT_CORRELATION_THRESHOLD,
@@ -88,7 +94,14 @@ class ReceiverConfig:
 
 @dataclass
 class ReceiveDiagnostics:
-    """Every intermediate product of one reception."""
+    """Every intermediate product of one reception.
+
+    Per-symbol decode outcomes are stored as flat int64 arrays (symbol
+    ``-1`` marks a dropped chip sequence) so the hot receive path never
+    builds per-symbol objects; the list views the rest of the codebase
+    consumes (``decisions``/``symbols``/``hamming_distances``) are
+    materialized lazily from those arrays.
+    """
 
     sync: Optional[SyncResult]
     soft_chips: np.ndarray
@@ -97,10 +110,40 @@ class ReceiveDiagnostics:
         default_factory=lambda: np.zeros(0, dtype=np.float64)
     )
     noise_variance: Optional[float] = None
-    decisions: List[DespreadDecision] = field(default_factory=list)
-    symbols: List[Optional[int]] = field(default_factory=list)
-    hamming_distances: List[int] = field(default_factory=list)
+    symbol_array: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    distance_array: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    runner_distance_array: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
     psdu_symbol_offset: int = HEADER_SYMBOLS
+
+    @property
+    def decisions(self) -> List[DespreadDecision]:
+        """Per-symbol despread outcomes as decision objects (lazy)."""
+        return [
+            DespreadDecision(
+                symbol=int(self.symbol_array[i])
+                if self.symbol_array[i] >= 0
+                else None,
+                hamming_distance=int(self.distance_array[i]),
+                runner_up_distance=int(self.runner_distance_array[i]),
+            )
+            for i in range(self.symbol_array.size)
+        ]
+
+    @property
+    def symbols(self) -> List[Optional[int]]:
+        """Decoded symbols (``None`` marks a dropped chip sequence)."""
+        return [int(s) if s >= 0 else None for s in self.symbol_array]
+
+    @property
+    def hamming_distances(self) -> List[int]:
+        """Best-match Hamming distance per decoded symbol."""
+        return [int(d) for d in self.distance_array]
 
     @property
     def psdu_soft_chips(self) -> np.ndarray:
@@ -229,20 +272,22 @@ class ZigBeeReceiver:
         with telemetry.span("zigbee.despread"):
             if self.config.demodulation == "quadrature":
                 whole = (quad_target // CHIPS_PER_SYMBOL) * CHIPS_PER_SYMBOL
-                decisions = self._msk_despreader.despread(
+                symbols, distances, runners = self._msk_despreader.despread_arrays(
                     quadrature.hard[:whole]
                 )
             else:
-                decisions = self._despreader.despread(chip_samples.hard)
+                symbols, distances, runners = self._despreader.despread_arrays(
+                    chip_samples.hard
+                )
         return ReceiveDiagnostics(
             sync=sync,
             soft_chips=chip_samples.soft,
             hard_chips=chip_samples.hard,
             quadrature_soft_chips=quadrature.soft,
             noise_variance=self._estimate_noise_floor(baseband, sync.start_index),
-            decisions=decisions,
-            symbols=[decision.symbol for decision in decisions],
-            hamming_distances=[d.hamming_distance for d in decisions],
+            symbol_array=symbols,
+            distance_array=distances,
+            runner_distance_array=runners,
         )
 
     @staticmethod
@@ -285,24 +330,31 @@ class ZigBeeReceiver:
         self, waveform: Waveform, known_start: Optional[int]
     ) -> ReceivedPacket:
         diagnostics = self.demodulate_chips(waveform, known_start=known_start)
-        symbols = diagnostics.symbols
-        if len(symbols) < HEADER_SYMBOLS:
+        return self._parse_packet(diagnostics)
+
+    def _parse_packet(self, diagnostics: ReceiveDiagnostics) -> ReceivedPacket:
+        """PHR parse, PSDU assembly, and FCS check on decode arrays."""
+        symbol_array = diagnostics.symbol_array
+        if symbol_array.size < HEADER_SYMBOLS:
             return ReceivedPacket(None, None, False, diagnostics)
 
-        phr_low, phr_high = symbols[10], symbols[11]
-        if phr_low is None or phr_high is None:
+        phr_low = int(symbol_array[10])
+        phr_high = int(symbol_array[11])
+        if phr_low < 0 or phr_high < 0:
             return ReceivedPacket(None, None, False, diagnostics)
         length = phr_low | (phr_high << 4)
         if not 0 < length <= MAX_PSDU_BYTES:
             return ReceivedPacket(None, None, False, diagnostics)
 
-        psdu_symbols = symbols[HEADER_SYMBOLS : HEADER_SYMBOLS + 2 * length]
+        psdu_symbols = symbol_array[HEADER_SYMBOLS : HEADER_SYMBOLS + 2 * length]
         self._trim_diagnostics(diagnostics, HEADER_SYMBOLS + 2 * length)
-        if len(psdu_symbols) < 2 * length or any(s is None for s in psdu_symbols):
+        if psdu_symbols.size < 2 * length or np.any(psdu_symbols < 0):
             return ReceivedPacket(None, None, False, diagnostics)
-        psdu = bytes(
-            psdu_symbols[i] | (psdu_symbols[i + 1] << 4)
-            for i in range(0, 2 * length, 2)
+        # Vectorized nibble-pair combine: even symbols are low nibbles.
+        psdu = (
+            (psdu_symbols[0::2] | (psdu_symbols[1::2] << 4))
+            .astype(np.uint8)
+            .tobytes()
         )
 
         mac_frame: Optional[MacFrame] = None
@@ -328,6 +380,172 @@ class ZigBeeReceiver:
         diagnostics.quadrature_soft_chips = diagnostics.quadrature_soft_chips[
             :num_chips
         ]
-        diagnostics.decisions = diagnostics.decisions[:num_symbols]
-        diagnostics.symbols = diagnostics.symbols[:num_symbols]
-        diagnostics.hamming_distances = diagnostics.hamming_distances[:num_symbols]
+        diagnostics.symbol_array = diagnostics.symbol_array[:num_symbols]
+        diagnostics.distance_array = diagnostics.distance_array[:num_symbols]
+        diagnostics.runner_distance_array = diagnostics.runner_distance_array[
+            :num_symbols
+        ]
+
+    def receive_batch(
+        self,
+        samples: np.ndarray,
+        sample_rate_hz: float,
+        known_start: Optional[int] = None,
+    ) -> List[Optional[ReceivedPacket]]:
+        """Full packet reception over a (batch, n) stack of captures.
+
+        Every row is one independent noise realization at the same rate;
+        rows that fail packet detection yield ``None`` (the batched
+        analogue of :class:`SynchronizationError`).  Per-row results and
+        telemetry counters are bit-identical to calling :meth:`receive`
+        on each row alone: all kernels reduce along the sample axis only,
+        and rows are regrouped by detected frame start so every aligned
+        stack stays rectangular.
+        """
+        telemetry = get_telemetry()
+        with telemetry.span("zigbee.receive_batch"):
+            packets = self._receive_rows(samples, sample_rate_hz, known_start)
+        for packet in packets:
+            if packet is None:
+                telemetry.count("zigbee.packets", outcome="sync_lost")
+        if telemetry.enabled:
+            for packet in packets:
+                if packet is None:
+                    continue
+                outcome = ("fcs_ok" if packet.fcs_ok
+                           else "decoded" if packet.decoded else "undecoded")
+                telemetry.count("zigbee.packets", outcome=outcome)
+                telemetry.count(
+                    "zigbee.chip_errors",
+                    float(packet.diagnostics.distance_array.sum()),
+                )
+        return packets
+
+    def _receive_rows(
+        self,
+        samples: np.ndarray,
+        sample_rate_hz: float,
+        known_start: Optional[int],
+    ) -> List[Optional[ReceivedPacket]]:
+        telemetry = get_telemetry()
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.ndim != 2:
+            raise ConfigurationError(
+                f"batch waveforms must be 2-D, got shape {samples.shape}"
+            )
+        batch = samples.shape[0]
+        with telemetry.span("zigbee.channelize"):
+            baseband = self._channelize_batch(samples, sample_rate_hz)
+        with telemetry.span("zigbee.sync"):
+            if known_start is not None:
+                syncs: List[Optional[SyncResult]] = [
+                    SyncResult(
+                        start_index=known_start, phase_rad=0.0, cfo_hz=0.0,
+                        correlation=1.0,
+                    )
+                ] * batch
+            else:
+                syncs = self._synchronizer.synchronize_batch(baseband)
+        packets: List[Optional[ReceivedPacket]] = [None] * batch
+        # Rows synchronize at (nearly always) the same frame start; group
+        # them so each aligned stack is rectangular and demodulates in
+        # one batched pass.
+        groups: dict = {}
+        for row, sync in enumerate(syncs):
+            if sync is not None:
+                groups.setdefault(sync.start_index, []).append(row)
+        for start, rows in groups.items():
+            self._receive_group(baseband, syncs, start, rows, packets)
+        return packets
+
+    def _receive_group(
+        self,
+        baseband: np.ndarray,
+        syncs: List[Optional[SyncResult]],
+        start: int,
+        rows: List[int],
+        packets: List[Optional[ReceivedPacket]],
+    ) -> None:
+        """Demodulate, despread, and parse one equal-start row group."""
+        telemetry = get_telemetry()
+        idx = np.asarray(rows, dtype=np.intp)
+        group = baseband[idx]
+        aligned_len = group.shape[1] - start
+        cfo = np.asarray([syncs[row].cfo_hz for row in rows])
+        phase = np.asarray([syncs[row].phase_rad for row in rows])
+        steps = np.arange(aligned_len)
+        rate = self.sample_rate_hz
+        correction = np.exp(
+            -1j
+            * (
+                2.0 * np.pi * cfo[:, np.newaxis] * steps[np.newaxis, :] / rate
+                + phase[:, np.newaxis]
+            )
+        )
+        aligned = group[:, start:] * correction
+
+        capacity = self._demodulator.capacity(aligned_len)
+        target = (capacity // CHIPS_PER_SYMBOL) * CHIPS_PER_SYMBOL
+        with telemetry.span("zigbee.demodulate"):
+            soft, hard = self._demodulator.demodulate_batch(
+                aligned, target, phase_tracking=self.config.phase_tracking
+            )
+            quad_target = min(target, self._quadrature.capacity(aligned_len))
+            quad_soft, quad_hard = self._quadrature.demodulate_batch(
+                aligned, quad_target
+            )
+        with telemetry.span("zigbee.despread"):
+            if self.config.demodulation == "quadrature":
+                whole = (quad_target // CHIPS_PER_SYMBOL) * CHIPS_PER_SYMBOL
+                symbols, distances, runners = (
+                    self._msk_despreader.despread_arrays(quad_hard[:, :whole])
+                )
+            else:
+                symbols, distances, runners = self._despreader.despread_arrays(
+                    hard
+                )
+        min_noise_samples = 32
+        noise: Optional[np.ndarray] = None
+        if start >= min_noise_samples:
+            noise = np.mean(np.abs(group[:, :start]) ** 2, axis=-1)
+        for position, row in enumerate(rows):
+            diagnostics = ReceiveDiagnostics(
+                sync=syncs[row],
+                soft_chips=soft[position],
+                hard_chips=hard[position],
+                quadrature_soft_chips=quad_soft[position],
+                noise_variance=(
+                    float(noise[position]) if noise is not None else None
+                ),
+                symbol_array=symbols[position],
+                distance_array=distances[position],
+                runner_distance_array=runners[position],
+            )
+            packets[row] = self._parse_packet(diagnostics)
+
+    def _channelize_batch(
+        self, samples: np.ndarray, sample_rate_hz: float
+    ) -> np.ndarray:
+        """Row-wise :meth:`channelize` of a (batch, n) stack."""
+        if abs(sample_rate_hz - self.sample_rate_hz) < 1e-6:
+            return samples
+        if sample_rate_hz < self.sample_rate_hz:
+            raise ConfigurationError(
+                "input sample rate is below the receiver's native rate"
+            )
+        if self.config.decimation == "naive":
+            ratio = sample_rate_hz / self.sample_rate_hz
+            step = int(round(ratio))
+            if abs(ratio - step) > 1e-9:
+                raise ConfigurationError(
+                    "naive decimation needs an integer rate ratio"
+                )
+            return np.ascontiguousarray(samples[:, ::step])
+        filtered = lowpass_filter_batch(
+            samples,
+            cutoff_hz=self.config.channel_filter_cutoff_hz,
+            sample_rate_hz=sample_rate_hz,
+        )
+        return polyphase_resample_batch(
+            filtered, sample_rate_hz, self.sample_rate_hz
+        )

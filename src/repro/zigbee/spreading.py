@@ -16,7 +16,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, DecodingError
-from repro.zigbee.chips import chip_table
+from repro.zigbee.chips import chip_table, chip_table_antipodal, chip_table_int64
 from repro.zigbee.constants import (
     CHIPS_PER_SYMBOL,
     DEFAULT_CORRELATION_THRESHOLD,
@@ -67,7 +67,7 @@ class DsssDespreader:
                 f"correlation threshold must be in [0, {CHIPS_PER_SYMBOL}]"
             )
         self.correlation_threshold = correlation_threshold
-        self._table = chip_table().astype(np.int64)
+        self._table = chip_table_int64()
 
     def despread_sequence(self, chips: Sequence[int]) -> DespreadDecision:
         """Decode exactly one 32-chip hard-decision sequence."""
@@ -87,19 +87,31 @@ class DsssDespreader:
             runner_up_distance=int(distances[runner_up]),
         )
 
-    def despread(self, chips: Sequence[int]) -> List[DespreadDecision]:
-        """Decode a chip stream; length must be a multiple of 32.
+    def despread_arrays(
+        self, chips: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-form despreading of a (...,  chips) hard-decision stream.
 
-        Vectorized: distances for all symbols are computed in one
-        (symbols x 16) broadcast rather than a Python loop per symbol.
+        Accepts a 1-D chip stream or any stack whose last axis is a whole
+        number of 32-chip sequences, and returns ``(symbols, distances,
+        runner_up_distances)`` int64 arrays with one entry per sequence
+        (leading axes preserved).  Rejected sequences carry symbol ``-1``
+        instead of ``None`` so the hot receive path never materializes
+        per-symbol :class:`DespreadDecision` objects.  Integer-exact, so
+        batched and scalar calls agree bit-for-bit.
         """
         chip_array = np.asarray(chips, dtype=np.int64)
-        if chip_array.size % CHIPS_PER_SYMBOL != 0:
+        if chip_array.shape[-1] % CHIPS_PER_SYMBOL != 0:
             raise DecodingError(
-                f"chip stream of {chip_array.size} is not a whole number of symbols"
+                f"chip stream of {chip_array.shape[-1]} is not a whole "
+                f"number of symbols"
             )
+        leading = chip_array.shape[:-1]
+        per_row = chip_array.shape[-1] // CHIPS_PER_SYMBOL
+        out_shape = leading + (per_row,)
         if chip_array.size == 0:
-            return []
+            empty = np.zeros(out_shape, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
         blocks = chip_array.reshape(-1, CHIPS_PER_SYMBOL)
         # distances[i, s] = Hamming distance of block i to codeword s.
         distances = np.count_nonzero(
@@ -108,17 +120,31 @@ class DsssDespreader:
         order = np.argsort(distances, axis=1, kind="stable")
         best = order[:, 0]
         runner_up = order[:, 1]
-        best_distances = distances[np.arange(blocks.shape[0]), best]
-        runner_distances = distances[np.arange(blocks.shape[0]), runner_up]
+        rows = np.arange(blocks.shape[0])
+        best_distances = distances[rows, best]
+        runner_distances = distances[rows, runner_up]
+        symbols = np.where(best_distances <= self.correlation_threshold, best, -1)
+        return (
+            symbols.reshape(out_shape),
+            best_distances.reshape(out_shape),
+            runner_distances.reshape(out_shape),
+        )
+
+    def despread(self, chips: Sequence[int]) -> List[DespreadDecision]:
+        """Decode a chip stream; length must be a multiple of 32.
+
+        Vectorized: distances for all symbols are computed in one
+        (symbols x 16) broadcast rather than a Python loop per symbol.
+        """
+        chip_array = np.asarray(chips, dtype=np.int64)
+        symbols, best_distances, runner_distances = self.despread_arrays(chip_array)
         return [
             DespreadDecision(
-                symbol=int(best[i])
-                if best_distances[i] <= self.correlation_threshold
-                else None,
+                symbol=int(symbols[i]) if symbols[i] >= 0 else None,
                 hamming_distance=int(best_distances[i]),
                 runner_up_distance=int(runner_distances[i]),
             )
-            for i in range(blocks.shape[0])
+            for i in range(symbols.size)
         ]
 
     def decode_symbols(self, chips: Sequence[int]) -> Tuple[List[Optional[int]], List[int]]:
@@ -146,7 +172,7 @@ class SoftDsssDespreader:
         if not 0.0 <= acceptance <= 1.0:
             raise ConfigurationError("acceptance must be in [0, 1]")
         self.acceptance = acceptance
-        self._antipodal = 2.0 * chip_table().astype(np.float64) - 1.0
+        self._antipodal = chip_table_antipodal()
 
     def despread_sequence(self, soft_chips: Sequence[float]) -> DespreadDecision:
         """Decode one 32-sample soft chip block."""

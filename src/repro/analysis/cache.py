@@ -1,0 +1,119 @@
+"""Content-hash keyed on-disk cache for per-file analysis results.
+
+A lint run spends nearly all of its time parsing modules and walking
+their ASTs; the whole-program phase over the resulting summaries is
+cheap.  So the cache unit is the *per-file* result: the module-scope
+diagnostics (post-suppression) plus the :class:`~repro.analysis.
+project.ModuleSummary` the project phase consumes.  Entries live under
+``.repro-lint-cache/`` as one JSON document per source file, keyed by
+the SHA-256 of the file's absolute path and validated against the
+SHA-256 of its *content* — touch a file and only that file re-parses.
+
+The key also folds in the analyzer version and the exact module-rule
+codes that ran, so upgrading the linter or changing ``--select``
+invalidates entries instead of serving stale diagnostics.  The cache
+is strictly an optimization: every failure mode (unreadable entry,
+version skew, corrupt JSON) falls back to re-analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import SUMMARY_VERSION, ModuleSummary
+
+#: Bumped on any change to the entry layout below.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def content_hash(source: str) -> str:
+    """Stable hash of one file's text (the entry validity key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """One directory of per-file analysis entries.
+
+    Args:
+        directory: cache root; created lazily on the first store.
+        rule_codes: the module-scope rule codes this run executes —
+            part of every entry's validity key.
+    """
+
+    def __init__(self, directory: str, rule_codes: Sequence[str]) -> None:
+        self.directory = directory
+        self.rule_codes = sorted(rule_codes)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, filename: str) -> str:
+        digest = hashlib.sha256(
+            os.path.abspath(filename).encode("utf-8")
+        ).hexdigest()
+        return os.path.join(self.directory, f"{digest}.json")
+
+    def load(
+        self, filename: str, source: str
+    ) -> Optional[Tuple[List[Diagnostic], ModuleSummary]]:
+        """The cached result for ``filename``, or None on any miss."""
+        try:
+            with open(self._entry_path(filename), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or (
+            entry.get("cache_version") != CACHE_FORMAT_VERSION
+            or entry.get("summary_version") != SUMMARY_VERSION
+            or entry.get("content_hash") != content_hash(source)
+            or entry.get("rule_codes") != self.rule_codes
+        ):
+            self.misses += 1
+            return None
+        try:
+            diagnostics = [
+                Diagnostic.from_dict(item) for item in entry["diagnostics"]
+            ]
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return diagnostics, summary
+
+    def store(
+        self,
+        filename: str,
+        source: str,
+        diagnostics: Sequence[Diagnostic],
+        summary: ModuleSummary,
+    ) -> None:
+        """Persist one file's result; failures are silently ignored."""
+        entry: Dict[str, Any] = {
+            "cache_version": CACHE_FORMAT_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "content_hash": content_hash(source),
+            "rule_codes": self.rule_codes,
+            "path": filename.replace("\\", "/"),
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "summary": summary.to_dict(),
+        }
+        path = self._entry_path(filename)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

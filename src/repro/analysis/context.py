@@ -81,7 +81,7 @@ class ModuleContext:
         "repro/utils/terminal_plot.py",
     )
 
-    def __init__(self, path: str, source: str, tree: ast.Module):
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
         self.path = path.replace("\\", "/")
         self.source = source
         self.tree = tree

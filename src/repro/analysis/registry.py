@@ -45,9 +45,14 @@ def rule(cls: Type) -> Type:
     return cls
 
 
-def get_rule(code: str):
+def get_rule(code: str) -> object:
     """The registered rule for ``code`` (KeyError when unknown)."""
     return _REGISTRY[code]
+
+
+def known_codes() -> set:
+    """Every registered rule code (for upfront CLI validation)."""
+    return set(_REGISTRY)
 
 
 def all_rules(

@@ -8,7 +8,7 @@ the contracts the reproduction's correctness rests on — see
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple, Union
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.diagnostics import Diagnostic
@@ -65,7 +65,9 @@ def _diag(module: ModuleContext, node: ast.AST, code: str, message: str) -> Diag
     )
 
 
-def _function_parameter_names(node: ast.AST) -> Set[str]:
+def _function_parameter_names(
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda],
+) -> Set[str]:
     """Every parameter name of a function def, including * and **."""
     args = node.args
     names = {
@@ -168,7 +170,9 @@ class RngMustBeThreaded:
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_function(module, node)
 
-    def _check_call(self, module: ModuleContext, node: ast.Call):
+    def _check_call(
+        self, module: ModuleContext, node: ast.Call
+    ) -> Iterator[Diagnostic]:
         basename = module.basename(node.func)
         if basename == "default_rng" and not node.args and not node.keywords:
             yield _diag(
@@ -183,7 +187,11 @@ class RngMustBeThreaded:
                 "generator; thread the caller's rng through",
             )
 
-    def _check_function(self, module: ModuleContext, node):
+    def _check_function(
+        self,
+        module: ModuleContext,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> Iterator[Diagnostic]:
         if not module.is_library or node.name.startswith("_"):
             return
         parameters = _function_parameter_names(node)
@@ -234,7 +242,13 @@ class EngineTrialsMustPickle:
 
     # -- scope-tracking walk ------------------------------------------
 
-    def _visit(self, module, node, scopes: List[_TrialScope], out) -> None:
+    def _visit(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        scopes: List[_TrialScope],
+        out: List[Diagnostic],
+    ) -> None:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             if scopes:  # a def nested inside a function
                 scopes[-1].unpicklable[node.name] = "nested def"
@@ -249,7 +263,13 @@ class EngineTrialsMustPickle:
         for child in ast.iter_child_nodes(node):
             self._visit(module, child, scopes, out)
 
-    def _check_run_call(self, module, node: ast.Call, scopes, out) -> None:
+    def _check_run_call(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        scopes: List[_TrialScope],
+        out: List[Diagnostic],
+    ) -> None:
         if not isinstance(node.func, ast.Attribute) or node.func.attr != "run":
             return
         if not self._is_engine_session(module, node.func.value):
@@ -280,7 +300,9 @@ class EngineTrialsMustPickle:
                     break
 
     @staticmethod
-    def _is_engine_session(module, receiver: ast.AST) -> bool:
+    def _is_engine_session(
+        module: ModuleContext, receiver: ast.AST
+    ) -> bool:
         """Heuristic: does ``receiver.run(...)`` target the MC engine?"""
         if isinstance(receiver, ast.Name):
             lowered = receiver.id.lower()
@@ -423,7 +445,11 @@ class DecibelUnitHygiene:
             or lowered in ("db", "dbm")
         )
 
-    def _check_assignment(self, module, node) -> Iterator[Diagnostic]:
+    def _check_assignment(
+        self,
+        module: ModuleContext,
+        node: Union[ast.Assign, ast.AnnAssign],
+    ) -> Iterator[Diagnostic]:
         value = node.value
         if value is None or not self._is_db_expression(value):
             return
@@ -452,8 +478,10 @@ class DecibelUnitHygiene:
             and self._is_constant(node.right.right, (10.0, 20.0))
         )
 
-    def _check_de_db(self, module, node: ast.BinOp) -> Iterator[Diagnostic]:
-        if not self._is_de_db(node):
+    def _check_de_db(
+        self, module: ModuleContext, node: ast.BinOp
+    ) -> Iterator[Diagnostic]:
+        if not self._is_de_db(node) or not isinstance(node.right, ast.BinOp):
             return
         operand = node.right.left
         for inner in ast.walk(operand):
@@ -489,7 +517,11 @@ class NoSloppyLibraryCode:
             elif isinstance(node, ast.ExceptHandler):
                 yield from self._check_handler(module, node)
 
-    def _check_defaults(self, module, node) -> Iterator[Diagnostic]:
+    def _check_defaults(
+        self,
+        module: ModuleContext,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda],
+    ) -> Iterator[Diagnostic]:
         for default in list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None
         ]:
@@ -508,7 +540,9 @@ class NoSloppyLibraryCode:
                     f"None and build the container inside",
                 )
 
-    def _check_handler(self, module, node: ast.ExceptHandler) -> Iterator[Diagnostic]:
+    def _check_handler(
+        self, module: ModuleContext, node: ast.ExceptHandler
+    ) -> Iterator[Diagnostic]:
         if node.type is None:
             yield _diag(
                 module, node, self.code,

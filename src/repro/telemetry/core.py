@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, ContextManager, Dict, List, Optional
 
 from repro.telemetry.metrics import MetricRegistry
 
@@ -35,7 +35,7 @@ class SpanNode:
 
     __slots__ = ("name", "call_count", "total_seconds", "children")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.call_count = 0
         self.total_seconds = 0.0
@@ -101,7 +101,7 @@ class _ActiveSpan:
 
     __slots__ = ("_telemetry", "_name", "_node", "_started")
 
-    def __init__(self, telemetry: "Telemetry", name: str):
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
         self._telemetry = telemetry
         self._name = name
         self._node: Optional[SpanNode] = None
@@ -194,7 +194,7 @@ class Telemetry:
 
     # -- tracing ------------------------------------------------------
 
-    def span(self, name: str):
+    def span(self, name: str) -> ContextManager[object]:
         """Context manager timing one named stage (no-op when disabled)."""
         if not self.enabled:
             return _NOOP_SPAN

@@ -41,21 +41,78 @@ PathLike = Union[str, Path]
 #: Bumped when the event record layout changes incompatibly.
 EVENT_SCHEMA_VERSION = 1
 
+#: The one declared schema for every event the stream may emit — the
+#: contract shared by emitters, the JSONL consumers (``runs tail``,
+#: the regression differ), and the R010 static rule.  Each entry lists
+#: the ``required`` fields every record of that type carries, the
+#: ``optional`` fields it may carry, and whether the type is ``open``
+#: (free-form extra fields allowed — only the run lifecycle events,
+#: whose payload is driver configuration).  This must stay a pure
+#: literal: the static analyzer reads it with ``ast.literal_eval``.
+EVENT_SCHEMAS = {
+    "run_started": {
+        "required": (),
+        "optional": ("schema_version", "experiments", "seed"),
+        "open": True,
+    },
+    "run_finished": {
+        "required": ("status",),
+        "optional": (
+            "trials_done", "trials_total", "elapsed_seconds",
+            "trials_per_second", "eta_seconds",
+        ),
+        "open": True,
+    },
+    "point_started": {
+        "required": ("experiment", "point"),
+        "optional": ("trials",),
+        "open": False,
+    },
+    "point_finished": {
+        "required": ("experiment", "point", "rows_so_far"),
+        "optional": ("trials",),
+        "open": False,
+    },
+    "trial_retry": {
+        "required": ("trial_index", "attempts", "recovered"),
+        "optional": (),
+        "open": False,
+    },
+    "trial_failure": {
+        "required": ("trial_index", "seed", "exception_type", "message"),
+        "optional": (),
+        "open": False,
+    },
+    "pool_rebuild": {
+        "required": ("trials_lost",),
+        "optional": (),
+        "open": False,
+    },
+    "pool_fallback": {
+        "required": ("reason",),
+        "optional": (),
+        "open": False,
+    },
+    "checkpoint_hit": {
+        "required": ("experiment", "key"),
+        "optional": (),
+        "open": False,
+    },
+    "checkpoint_saved": {
+        "required": ("experiment", "key"),
+        "optional": (),
+        "open": False,
+    },
+    "heartbeat": {
+        "required": ("trials_done", "elapsed_seconds", "trials_per_second"),
+        "optional": ("trials_total", "eta_seconds"),
+        "open": False,
+    },
+}
+
 #: Every event type the stream may emit.  ``emit`` rejects anything
 #: else so a typo cannot silently fork the schema.
-EVENT_TYPES = (
-    "run_started",
-    "run_finished",
-    "point_started",
-    "point_finished",
-    "trial_retry",
-    "trial_failure",
-    "pool_rebuild",
-    "pool_fallback",
-    "checkpoint_hit",
-    "checkpoint_saved",
-    "heartbeat",
-)
+EVENT_TYPES = tuple(EVENT_SCHEMAS)
 
 
 class EventSink:
@@ -94,7 +151,7 @@ class FileEventSink(EventSink):
     stream rather than truncating history.
     """
 
-    def __init__(self, path: PathLike):
+    def __init__(self, path: PathLike) -> None:
         self.path = Path(str(path))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle: Optional[TextIO] = open(self.path, "a")
@@ -120,7 +177,7 @@ class StderrProgressSink(EventSink):
     reads as a scrolling journal with a live ticker at the bottom.
     """
 
-    def __init__(self, stream: Optional[TextIO] = None):
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
         self._stream = stream if stream is not None else sys.stderr
         self._line_open = False
 
@@ -249,6 +306,22 @@ class EventStream:
                 f"unknown event type {event_type!r}; expected one of "
                 f"{EVENT_TYPES}"
             )
+        spec = EVENT_SCHEMAS[event_type]
+        missing = [name for name in spec["required"] if name not in fields]
+        if missing:
+            raise ConfigurationError(
+                f"event {event_type!r} is missing required field(s) "
+                f"{', '.join(missing)}"
+            )
+        if not spec["open"]:
+            allowed = set(spec["required"]) | set(spec["optional"])
+            undeclared = sorted(set(fields) - allowed)
+            if undeclared:
+                raise ConfigurationError(
+                    f"event {event_type!r} carries undeclared field(s) "
+                    f"{', '.join(undeclared)}; declare them in "
+                    f"EVENT_SCHEMAS or drop them"
+                )
         self._sequence += 1
         record: Dict[str, Any] = {
             "event": event_type,

@@ -50,7 +50,7 @@ class Counter:
 
     __slots__ = ("key", "value")
 
-    def __init__(self, key: str):
+    def __init__(self, key: str) -> None:
         self.key = key
         self.value = 0.0
 
@@ -66,7 +66,7 @@ class Gauge:
 
     __slots__ = ("key", "value")
 
-    def __init__(self, key: str):
+    def __init__(self, key: str) -> None:
         self.key = key
         self.value = 0.0
 
@@ -90,7 +90,9 @@ class Histogram:
     __slots__ = ("key", "count", "total", "minimum", "maximum",
                  "_reservoir", "_capacity", "_hash_seed")
 
-    def __init__(self, key: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+    def __init__(
+        self, key: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE
+    ) -> None:
         if reservoir_size < 1:
             raise ConfigurationError("reservoir_size must be positive")
         self.key = key

@@ -53,7 +53,7 @@ def make_run_id(label: str) -> str:
 class RunDirectory:
     """Handle to one run's on-disk artifacts."""
 
-    def __init__(self, path: PathLike):
+    def __init__(self, path: PathLike) -> None:
         self.path = Path(str(path))
 
     @property
@@ -169,7 +169,7 @@ class RunDirectory:
 class RunRegistry:
     """The collection of run directories under one root."""
 
-    def __init__(self, root: PathLike = DEFAULT_RUNS_ROOT):
+    def __init__(self, root: PathLike = DEFAULT_RUNS_ROOT) -> None:
         self.root = Path(str(root))
 
     def create(self, label: str) -> RunDirectory:

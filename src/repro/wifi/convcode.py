@@ -171,7 +171,7 @@ def viterbi_decode(coded: np.ndarray, num_data_bits: int) -> np.ndarray:
     predecessors, pred_bits, pred_outputs = _reverse_trellis()
 
     infinity = np.float64(1e18)
-    metrics = np.full(NUM_STATES, infinity)
+    metrics = np.full(NUM_STATES, infinity, dtype=np.float64)
     metrics[0] = 0.0
     history = np.zeros((num_data_bits, NUM_STATES), dtype=np.uint8)
 
@@ -179,7 +179,7 @@ def viterbi_decode(coded: np.ndarray, num_data_bits: int) -> np.ndarray:
     for step in range(num_data_bits):
         received = pairs[step]
         # Branch metric: Hamming distance over non-erased positions.
-        costs = np.zeros((NUM_STATES, 2))
+        costs = np.zeros((NUM_STATES, 2), dtype=np.float64)
         for position in range(2):
             if received[position] == 2:
                 continue

@@ -116,7 +116,7 @@ def viterbi_decode_soft(llrs: np.ndarray, num_data_bits: int) -> np.ndarray:
     signs = 2.0 * pred_outputs - 1.0  # 0 -> -1, 1 -> +1
 
     infinity = np.float64(1e18)
-    metrics = np.full(NUM_STATES, infinity)
+    metrics = np.full(NUM_STATES, infinity, dtype=np.float64)
     metrics[0] = 0.0
     history = np.zeros((num_data_bits, NUM_STATES), dtype=np.uint8)
 

@@ -55,7 +55,7 @@ class WifiSynchronizer:
             raise SynchronizationError("waveform shorter than the STF window")
         product = samples[lag:] * np.conj(samples[:-lag])
         energy = np.abs(samples[lag:]) ** 2
-        kernel = np.ones(window)
+        kernel = np.ones(window, dtype=np.float64)
         corr = np.convolve(product, kernel, mode="valid")
         power = np.convolve(energy, kernel, mode="valid")
         with np.errstate(divide="ignore", invalid="ignore"):

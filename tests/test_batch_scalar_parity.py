@@ -1,0 +1,252 @@
+"""Direct differential tests for every public batch/scalar kernel pair.
+
+``tests/test_batched_trials.py`` pins the end-to-end contract (batched
+experiment drivers == scalar drivers, bit for bit); this file pins each
+*pair* in isolation, so a regression names the exact kernel that broke
+instead of failing three driver tests at once.  It is also the test
+anchor reprolint rule R008 (batch/scalar parity) checks for: every
+``*_batch`` kernel and ``@batch_trial`` function must be referenced
+from at least one test module, together with its scalar counterpart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defense.constellation import (
+    ConstellationOptions,
+    reconstruct_constellation,
+    reconstruct_constellation_batch,
+)
+from repro.defense.moments import (
+    estimate_cumulants,
+    estimate_cumulants_batch,
+)
+from repro.experiments.common import (
+    prepare_authentic,
+    prepare_emulated,
+    transmit_batch,
+    transmit_once,
+)
+from repro.experiments.engine import MonteCarloEngine
+from repro.utils.signal_ops import (
+    lowpass_filter,
+    lowpass_filter_batch,
+    polyphase_resample,
+    polyphase_resample_batch,
+)
+from repro.zigbee.receiver import ZigBeeReceiver
+
+
+def _complex_rows(rng, count, length):
+    return [
+        rng.standard_normal(length) + 1j * rng.standard_normal(length)
+        for _ in range(count)
+    ]
+
+
+class TestSignalOpsParity:
+    def test_lowpass_filter_batch_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        rows = _complex_rows(rng, 4, 400)
+        batched = lowpass_filter_batch(np.stack(rows), 2e6, 20e6)
+        for row, filtered in zip(rows, batched):
+            assert np.array_equal(filtered, lowpass_filter(row, 2e6, 20e6))
+
+    def test_polyphase_resample_batch_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        rows = _complex_rows(rng, 3, 360)
+        batched = polyphase_resample_batch(np.stack(rows), 4e6, 20e6)
+        for row, resampled in zip(rows, batched):
+            assert np.array_equal(
+                resampled, polyphase_resample(row, 4e6, 20e6)
+            )
+
+
+class TestDefenseKernelParity:
+    def test_reconstruct_constellation_batch_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        soft = rng.standard_normal((5, 64))
+        for options in (None, ConstellationOptions(drop_header_chips=8)):
+            batched = reconstruct_constellation_batch(soft, options)
+            for row, points in zip(soft, batched):
+                assert np.array_equal(
+                    points, reconstruct_constellation(row, options)
+                )
+
+    def test_estimate_cumulants_batch_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        samples = rng.standard_normal((4, 32)) + 1j * rng.standard_normal((4, 32))
+        variances = [0.0, 0.01, 0.25, 0.0]
+        batched = estimate_cumulants_batch(samples, variances)
+        for row, variance, estimate in zip(samples, variances, batched):
+            assert estimate == estimate_cumulants(row, variance)
+
+
+class TestZigbeeChainParity:
+    def test_synchronize_batch_matches_scalar(self):
+        receiver = ZigBeeReceiver()
+        prepared = prepare_authentic()
+        baseband = receiver.channelize(prepared.on_air)
+        rng = np.random.default_rng(7)
+        rows = [
+            baseband.samples + 0.01 * (
+                rng.standard_normal(baseband.samples.size)
+                + 1j * rng.standard_normal(baseband.samples.size)
+            )
+            for _ in range(3)
+        ]
+        synchronizer = receiver._synchronizer
+        batched = synchronizer.synchronize_batch(np.stack(rows))
+        for row, result in zip(rows, batched):
+            scalar = synchronizer.synchronize(baseband.with_samples(row))
+            assert result == scalar
+
+    def test_oqpsk_demodulate_batch_matches_scalar(self):
+        from repro.zigbee.oqpsk import OqpskDemodulator
+
+        demod = OqpskDemodulator()
+        rng = np.random.default_rng(8)
+        rows = _complex_rows(rng, 4, 130)
+        num_chips = demod.capacity(130) - demod.capacity(130) % 2
+        for phase_tracking in (False, True):
+            soft, hard = demod.demodulate_batch(
+                np.stack(rows), num_chips, phase_tracking=phase_tracking
+            )
+            for i, row in enumerate(rows):
+                scalar = demod.demodulate(
+                    row, num_chips, phase_tracking=phase_tracking
+                )
+                assert np.array_equal(soft[i], scalar.soft)
+                assert np.array_equal(hard[i], scalar.hard)
+
+    def test_quadrature_demodulate_batch_matches_scalar(self):
+        from repro.zigbee.quadrature import QuadratureDemodulator
+
+        demod = QuadratureDemodulator()
+        rng = np.random.default_rng(9)
+        rows = _complex_rows(rng, 4, 101)
+        num_chips = demod.capacity(101)
+        soft, hard = demod.demodulate_batch(np.stack(rows), num_chips)
+        for i, row in enumerate(rows):
+            scalar = demod.demodulate(row, num_chips)
+            assert np.array_equal(soft[i], scalar.soft)
+            assert np.array_equal(hard[i], scalar.hard)
+
+
+class TestTransmitParity:
+    def test_transmit_batch_matches_transmit_once(self):
+        prepared = prepare_emulated(rng=3)
+        receiver = ZigBeeReceiver()
+        seeds = (21, 22, 23)
+        batched = transmit_batch(
+            prepared, receiver, 12.0,
+            [np.random.default_rng(seed) for seed in seeds],
+        )
+        for seed, packet in zip(seeds, batched):
+            scalar = transmit_once(
+                prepared, receiver, 12.0, np.random.default_rng(seed)
+            )
+            if scalar is None:
+                assert packet is None
+                continue
+            assert packet is not None
+            assert packet.psdu == scalar.psdu
+            assert packet.fcs_ok == scalar.fcs_ok
+
+
+def _session_rows(trial, context, count, static_args, seed=11):
+    with MonteCarloEngine().session(context) as session:
+        return session.run(trial, count, rng=seed, static_args=static_args)
+
+
+class TestTrialParity:
+    """The four ``@batch_trial`` functions against their scalar twins.
+
+    The engine derives identical per-trial seeds for both paths, so
+    running each trial function through a fresh session at the same
+    seed must produce identical rows.
+    """
+
+    def test_table2_trials_match(self):
+        from repro.defense.detector import CumulantDetector
+        from repro.experiments.table2_attack_awgn import (
+            _authentic_trial,
+            _authentic_trial_batch,
+            _emulated_trial,
+            _emulated_trial_batch,
+        )
+        from repro.hardware.usrp import gnuradio_simulation_receiver_config
+
+        context = {
+            "receiver": ZigBeeReceiver(gnuradio_simulation_receiver_config()),
+            "emulated": prepare_emulated(rng=3),
+            "authentic": prepare_authentic(),
+            "detector": CumulantDetector(),
+        }
+        args = (15.0,)
+        assert _session_rows(_emulated_trial_batch, context, 4, args) == \
+            _session_rows(_emulated_trial, context, 4, args)
+        assert _session_rows(_authentic_trial_batch, context, 4, args) == \
+            _session_rows(_authentic_trial, context, 4, args)
+
+    def test_statistic_trial_batch_matches_scalar(self):
+        from repro.defense.detector import CumulantDetector
+        from repro.experiments.defense_common import (
+            defense_receiver,
+            statistic_trial,
+            statistic_trial_batch,
+        )
+
+        context = {
+            "link": prepare_emulated(rng=3),
+            "receiver": defense_receiver(),
+            "detector": CumulantDetector(),
+        }
+        args = ("link", "quadrature", False, 15.0)
+        batched = _session_rows(statistic_trial_batch, context, 4, args)
+        scalar = _session_rows(statistic_trial, context, 4, args)
+        assert len(batched) == len(scalar)
+        for got, want in zip(batched, scalar):
+            if want is None:
+                assert got is None
+                continue
+            assert got is not None
+            assert got.distance_squared == want.distance_squared
+            assert got.snr_db == want.snr_db
+            assert got.detection.hypothesis == want.detection.hypothesis
+
+    def test_link_trial_batch_matches_scalar(self):
+        from repro.experiments.fig14_error_rates import (
+            _link_trial,
+            _link_trial_batch,
+        )
+        from repro.channel.environment import RealEnvironment
+        from repro.hardware.usrp import usrp_receiver_config
+
+        context = {
+            "env": RealEnvironment(rng=0),
+            "receivers": {"usrp": ZigBeeReceiver(usrp_receiver_config())},
+            "original": prepare_authentic(),
+        }
+        loss_db = usrp_receiver_config().implementation_loss_db
+        args = ("original", "usrp", 3.0, loss_db)
+        batched = _session_rows(_link_trial_batch, context, 3, args)
+        scalar = _session_rows(_link_trial, context, 3, args)
+        assert len(batched) == len(scalar)
+        for got, want in zip(batched, scalar):
+            if want is None:
+                assert got is None
+                continue
+            assert got is not None
+            decoded_got, delivered_got, hamming_got = got
+            decoded_want, delivered_want, hamming_want = want
+            assert delivered_got == delivered_want
+            assert np.array_equal(decoded_got, decoded_want)
+            if hamming_want is None:
+                assert hamming_got is None
+            else:
+                assert np.array_equal(hamming_got, hamming_want)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

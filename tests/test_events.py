@@ -84,7 +84,7 @@ class TestEventStream:
         stream = EventStream()
         stream.enable()
         with pytest.raises(ConfigurationError):
-            stream.emit("made_up_event")
+            stream.emit("made_up_event")  # reprolint: disable=R010
 
     def test_records_carry_sequence_and_run_id(self):
         stream = EventStream()

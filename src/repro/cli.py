@@ -81,6 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="skip sweep points already checkpointed under "
                           "--checkpoint-dir (requires --checkpoint-dir)")
+    run.add_argument("--adaptive", action="store_true",
+                     help="stop each sweep point once its confidence "
+                          "interval reaches the target relative half-width "
+                          "and reallocate the saved trials to unconverged "
+                          "points (engine-backed experiments; --trials "
+                          "becomes the per-point base budget)")
+    run.add_argument("--rel-precision", type=float, default=None,
+                     metavar="FRAC",
+                     help="adaptive target relative CI half-width "
+                          "(default 0.1; requires --adaptive)")
+    run.add_argument("--max-trials", type=int, default=None, metavar="N",
+                     help="adaptive hard per-point trial cap (default "
+                          "4x the base budget; requires --adaptive)")
     run.add_argument("--save", metavar="DIR", default=None,
                      help="also write <id>.csv (rows), <id>.npz (series), "
                           "and <id>.manifest.json (provenance)")
@@ -125,6 +138,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-batch", action="store_true",
                        help="skip the scalar-vs-batched comparison and "
                             "bench only the scalar path")
+    bench.add_argument("--no-adaptive", action="store_true",
+                       help="skip the adaptive precision-targeted leg")
     bench.add_argument("--out", default=None,
                        help="baseline path (default: BENCH_engine.json)")
 
@@ -371,6 +386,9 @@ def _run_one(
     resume: bool = False,
     run_dir: Any = None,
     batch: bool = True,
+    adaptive: bool = False,
+    rel_precision: Optional[float] = None,
+    max_trials: Optional[int] = None,
 ) -> None:
     telemetry = get_telemetry()
     entry = get_experiment(experiment_id)
@@ -397,6 +415,12 @@ def _run_one(
         kwargs["resume"] = resume
     if not batch and "batch" in parameters:
         kwargs["batch"] = False
+    if adaptive and "adaptive" in parameters:
+        kwargs["adaptive"] = True
+        if rel_precision is not None:
+            kwargs["rel_precision"] = rel_precision
+        if max_trials is not None:
+            kwargs["max_trials"] = max_trials
     with stopwatch() as timer:
         with telemetry.span(f"experiment.{experiment_id}"):
             result = entry.run(**kwargs)
@@ -411,6 +435,8 @@ def _run_one(
         config={"trials": trials, "workers": workers,
                 "chunk_size": chunk_size, "on_error": on_error,
                 "checkpoint_dir": checkpoint_dir, "resume": resume,
+                "adaptive": adaptive, "rel_precision": rel_precision,
+                "max_trials": max_trials,
                 "elapsed_seconds": round(elapsed, 3)},
         span_tree=span_tree,
     )
@@ -453,7 +479,8 @@ def _start_run_directory(args: argparse.Namespace, targets: List[str]):
     run.write_manifest(build_manifest(
         seed=args.seed,
         config={"trials": args.trials, "workers": args.workers,
-                "chunk_size": args.chunk_size, "on_error": args.on_error},
+                "chunk_size": args.chunk_size, "on_error": args.on_error,
+                "adaptive": args.adaptive},
         extra={"status": "running", "experiments": targets},
     ))
     stream.run_started(experiments=targets, seed=args.seed)
@@ -611,6 +638,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             chunk_size=args.chunk_size,
             seed=args.seed,
             batch=not args.no_batch,
+            adaptive=not args.no_adaptive,
         )
         print(json.dumps(baseline, indent=2))
         print(f"[engine baseline written to {out}]")
@@ -643,6 +671,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and args.checkpoint_dir is None:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if not args.adaptive and (
+        args.rel_precision is not None or args.max_trials is not None
+    ):
+        print("error: --rel-precision/--max-trials require --adaptive",
+              file=sys.stderr)
+        return 2
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     use_telemetry = (
         args.telemetry or args.telemetry_out is not None or args.live
@@ -665,7 +699,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                      on_error=args.on_error,
                      checkpoint_dir=args.checkpoint_dir,
                      resume=args.resume, run_dir=run_dir,
-                     batch=not args.no_batch)
+                     batch=not args.no_batch,
+                     adaptive=args.adaptive,
+                     rel_precision=args.rel_precision,
+                     max_trials=args.max_trials)
         status = "ok"
     finally:
         if use_telemetry:

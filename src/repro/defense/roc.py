@@ -24,11 +24,16 @@ class RocCurve:
         thresholds: descending threshold grid.
         true_positive_rates: attack-detection rate at each threshold.
         false_positive_rates: authentic-flagged rate at each threshold.
+        dropped_authentic: NaN authentic scores excluded from the curve
+            (e.g. ``mean_or_nan`` over an all-failed sweep point).
+        dropped_attack: NaN attack scores excluded from the curve.
     """
 
     thresholds: np.ndarray
     true_positive_rates: np.ndarray
     false_positive_rates: np.ndarray
+    dropped_authentic: int = 0
+    dropped_attack: int = 0
 
     @property
     def auc(self) -> float:
@@ -39,13 +44,37 @@ class RocCurve:
         return float(np.sum((x[1:] - x[:-1]) * (y[1:] + y[:-1]) / 2.0))
 
     def equal_error_rate(self) -> float:
-        """The rate where false positives equal false negatives."""
+        """The rate where the false-positive and false-negative rates cross.
+
+        The grid only samples FNR - FPR at discrete thresholds, so the
+        crossing generally falls *between* two grid points; interpolate
+        linearly across the sign change instead of returning the nearest
+        sampled rate (off by up to half a grid step on coarse grids).
+        Thresholds descend, taking the difference monotonically from +1
+        (nothing flagged) to -1 (everything flagged), so a sign change
+        always exists; an exact zero on the grid is returned directly.
+        """
         false_negative = 1.0 - self.true_positive_rates
-        gaps = np.abs(false_negative - self.false_positive_rates)
-        index = int(np.argmin(gaps))
-        return float(
-            (false_negative[index] + self.false_positive_rates[index]) / 2.0
-        )
+        diff = false_negative - self.false_positive_rates
+        exact = np.flatnonzero(diff == 0.0)
+        if exact.size:
+            index = int(exact[0])
+            return float(self.false_positive_rates[index])
+        sign_change = np.flatnonzero(np.diff(np.sign(diff)) != 0)
+        if not sign_change.size:
+            # Degenerate populations (no crossing on the grid): keep the
+            # old nearest-point behaviour as a fallback.
+            index = int(np.argmin(np.abs(diff)))
+            return float(
+                (false_negative[index] + self.false_positive_rates[index])
+                / 2.0
+            )
+        index = int(sign_change[0])
+        d0, d1 = float(diff[index]), float(diff[index + 1])
+        t = d0 / (d0 - d1)
+        fpr0 = float(self.false_positive_rates[index])
+        fpr1 = float(self.false_positive_rates[index + 1])
+        return fpr0 + t * (fpr1 - fpr0)
 
     def threshold_for_fpr(self, max_fpr: float) -> float:
         """Smallest threshold keeping FPR at or below ``max_fpr``."""
@@ -65,17 +94,33 @@ def roc_curve(
 ) -> RocCurve:
     """Sweep thresholds over the union of both score populations.
 
+    NaN scores are dropped before building the threshold grid — a single
+    NaN would otherwise poison ``min``/``max`` and silently collapse
+    every TPR/FPR to 0 — and the dropped counts are surfaced on the
+    returned curve.  A population that is empty after the drop raises
+    :class:`ConfigurationError` instead of producing a vacuous curve.
+
     Args:
         authentic_scores: D_E^2 values of authentic waveforms (H0).
         attack_scores: D_E^2 values of emulated waveforms (H1).
         num_points: threshold grid size.
     """
-    h0 = np.asarray(list(authentic_scores), dtype=np.float64)
-    h1 = np.asarray(list(attack_scores), dtype=np.float64)
-    if h0.size == 0 or h1.size == 0:
+    h0_raw = np.asarray(list(authentic_scores), dtype=np.float64)
+    h1_raw = np.asarray(list(attack_scores), dtype=np.float64)
+    if h0_raw.size == 0 or h1_raw.size == 0:
         raise ConfigurationError("both score populations must be non-empty")
     if num_points < 2:
         raise ConfigurationError("num_points must be >= 2")
+    h0 = h0_raw[~np.isnan(h0_raw)]
+    h1 = h1_raw[~np.isnan(h1_raw)]
+    dropped_authentic = int(h0_raw.size - h0.size)
+    dropped_attack = int(h1_raw.size - h1.size)
+    if h0.size == 0 or h1.size == 0:
+        raise ConfigurationError(
+            "a score population is all-NaN after dropping "
+            f"{dropped_authentic} authentic / {dropped_attack} attack "
+            "NaN scores"
+        )
 
     combined = np.concatenate([h0, h1])
     low = float(combined.min())
@@ -89,4 +134,6 @@ def roc_curve(
         thresholds=thresholds,
         true_positive_rates=tpr,
         false_positive_rates=fpr,
+        dropped_authentic=dropped_authentic,
+        dropped_attack=dropped_attack,
     )

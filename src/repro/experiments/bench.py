@@ -80,6 +80,7 @@ def measure_engine_throughput(
     chunk_size: Optional[int] = None,
     seed: int = 0,
     batch: bool = True,
+    adaptive: bool = True,
 ) -> Dict[str, Any]:
     """Scalar-vs-batched and serial-vs-parallel wall clock for one run.
 
@@ -90,6 +91,12 @@ def measure_engine_throughput(
     pre-batching tooling; ``scalar_*`` and ``batched_speedup`` record
     the vectorization win and ``stage_seconds`` the per-stage breakdown
     of the batched serial leg.
+
+    When the experiment supports adaptive precision-targeted sampling a
+    fourth leg runs it serially at the default 10% relative precision:
+    ``adaptive_*`` fields record its wall clock, the trials it actually
+    executed versus the fixed budget, and the resulting speedup over
+    the batched serial leg.
 
     ``workers=None`` resolves to :func:`default_bench_workers` so the
     recorded speedup reflects real parallelism on this host.
@@ -109,8 +116,10 @@ def measure_engine_throughput(
             f"min(4, host CPUs)",
             RuntimeWarning,
         )
-    supports_batch = "batch" in inspect.signature(entry.run).parameters
+    run_parameters = inspect.signature(entry.run).parameters
+    supports_batch = "batch" in run_parameters
     batched = batch and supports_batch
+    supports_adaptive = adaptive and "adaptive" in run_parameters
     common = {"rng": seed, "trials": trials}
     # Record engine counters across every leg so the baseline carries
     # the same failure-class telemetry the run registry gates on.
@@ -136,6 +145,20 @@ def measure_engine_throughput(
                 parallel = _timed_run(
                     entry, workers=workers, chunk_size=chunk_size, **common
                 )
+        adaptive_leg = None
+        adaptive_trials_executed = adaptive_trials_saved = 0
+        if supports_adaptive:
+            before = dict(telemetry.registry.snapshot()["counters"])
+            with telemetry.span("bench.adaptive"):
+                adaptive_leg = _timed_run(entry, adaptive=True, **common)
+            after = telemetry.registry.snapshot()["counters"]
+            adaptive_trials_executed = int(
+                after.get("engine.trials", 0) - before.get("engine.trials", 0)
+            )
+            adaptive_trials_saved = int(
+                after.get("engine.trials_saved", 0)
+                - before.get("engine.trials_saved", 0)
+            )
         serial_leg = "bench.batched_serial" if batched else "bench.serial"
         leg_node = telemetry.root.children.get(serial_leg)
         stage_seconds = (
@@ -157,7 +180,7 @@ def measure_engine_throughput(
         )
     speedup = serial["seconds"] / parallel["seconds"]
     baseline = {
-        "schema": 2,
+        "schema": 3,
         "experiment_id": experiment_id,
         "trials": trials,
         "workers": workers,
@@ -186,6 +209,13 @@ def measure_engine_throughput(
         baseline["batched_speedup"] = round(
             scalar["seconds"] / serial["seconds"], 3
         )
+    if adaptive_leg is not None:
+        baseline["adaptive_seconds"] = round(adaptive_leg["seconds"], 3)
+        baseline["adaptive_trials_executed"] = adaptive_trials_executed
+        baseline["adaptive_trials_saved"] = adaptive_trials_saved
+        baseline["adaptive_speedup"] = round(
+            serial["seconds"] / adaptive_leg["seconds"], 3
+        )
     return baseline
 
 
@@ -197,6 +227,7 @@ def write_engine_baseline(
     chunk_size: Optional[int] = None,
     seed: int = 0,
     batch: bool = True,
+    adaptive: bool = True,
 ) -> Dict[str, Any]:
     """Measure engine throughput and persist the JSON baseline."""
     baseline = measure_engine_throughput(
@@ -206,6 +237,7 @@ def write_engine_baseline(
         chunk_size=chunk_size,
         seed=seed,
         batch=batch,
+        adaptive=adaptive,
     )
     with open(path, "w") as handle:
         json.dump(baseline, handle, indent=2)

@@ -123,16 +123,44 @@ class CheckpointStore:
         slug = _KEY_SLUG.sub("_", key)
         return self._directory / f"{_POINT_PREFIX}{slug}.json"
 
+    def _read_verified(self, key: str, path: Path) -> Optional[Dict[str, Any]]:
+        """The point document at ``path``, verified to belong to ``key``.
+
+        Slugging collapses distinct keys (``snr=-1`` and ``snr:1`` both
+        slug to ``snr_1``) onto the same file, so every read checks the
+        raw key stored inside the document and raises instead of
+        silently serving (or letting a save overwrite) another point's
+        row.
+        """
+        document = read_json(path)
+        stored = document.get("key")
+        if stored != key:
+            raise ConfigurationError(
+                f"checkpoint key collision: {path.name} holds point "
+                f"{stored!r} but key {key!r} slugs to the same file; "
+                f"rename one sweep key so they stay distinguishable"
+            )
+        return document
+
     def save(self, key: str, payload: Any) -> None:
-        """Persist one completed sweep point atomically."""
-        atomic_write_json(
-            self._point_path(key), {"key": key, "payload": payload}
-        )
+        """Persist one completed sweep point atomically.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the slug
+        of ``key`` collides with an already-saved *different* raw key —
+        overwriting would silently lose that point.
+        """
+        path = self._point_path(key)
+        if path.exists():
+            self._read_verified(key, path)
+        atomic_write_json(path, {"key": key, "payload": payload})
         get_event_stream().checkpoint_saved(self._experiment_id, key)
 
     def completed(self, key: str) -> bool:
-        """Whether a completed point for ``key`` is on disk."""
-        return self._point_path(key).exists()
+        """Whether a completed point for ``key`` itself is on disk."""
+        path = self._point_path(key)
+        if not path.exists():
+            return False
+        return self._read_verified(key, path) is not None
 
     def get(self, key: str) -> Any:
         """The checkpointed payload for ``key``, or ``None``.
@@ -145,7 +173,7 @@ class CheckpointStore:
         path = self._point_path(key)
         if not path.exists():
             return None
-        document = read_json(path)
+        document = self._read_verified(key, path)
         self.resumed_keys.append(key)
         get_telemetry().count("engine.points_resumed")
         get_event_stream().checkpoint_hit(self._experiment_id, key)

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.defense.detector import CumulantDetector, DetectionResult
+from repro.experiments.adaptive import AdaptivePointState, AdaptiveSweep
 from repro.experiments.checkpoint import CheckpointStore
 from repro.experiments.common import PreparedLink, transmit_batch, transmit_once
 from repro.experiments.engine import EngineSession, MonteCarloEngine, batch_trial
@@ -243,6 +244,91 @@ def collect_distances(
         store.save(key, values)
     stream.point_finished(experiment, point, rows_so_far=len(values))
     return values
+
+
+def _distance_or_none(sample: Optional[StatisticSample]) -> Optional[float]:
+    """Adaptive-mean observation: D_E^2, or ``None`` for dropped rows."""
+    return None if sample is None else sample.distance_squared
+
+
+def register_distance_point(
+    sweep: AdaptiveSweep,
+    link_key: str,
+    snr_db: Optional[float],
+    rng: RngLike = None,
+    chip_source: str = "quadrature",
+    noise_corrected: bool = False,
+    key: str = "",
+    batch: bool = False,
+    base: Optional[int] = None,
+) -> AdaptivePointState:
+    """Register one D_E^2 point on an adaptive sweep (pass 1).
+
+    The Welford mean estimator sees ``distance_squared`` per decoded
+    reception; receptions that never reach the defense are spent trials
+    but not observations — matching :func:`collect_distances`, whose
+    returned list also drops them.  Call :meth:`AdaptiveSweep.settle`
+    after registering every point, then :func:`settle_distance_point`.
+    """
+    if chip_source not in CHIP_SOURCES:
+        raise ValueError(f"chip_source must be one of {CHIP_SOURCES}")
+    trial = statistic_trial_batch if batch else statistic_trial
+    return sweep.point(
+        trial,
+        rng=rng,
+        static_args=(link_key, chip_source, noise_corrected, snr_db),
+        estimator=sweep.mean_estimator(),
+        extract=_distance_or_none,
+        key=key,
+        base=base,
+    )
+
+
+def settle_distance_point(
+    state: AdaptivePointState,
+    store: Optional[CheckpointStore] = None,
+    key: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One settled adaptive D_E^2 point as a JSON-friendly payload.
+
+    Returns ``{"values": [...], "trials_used": ..., "converged": ...,
+    "capped": ..., "estimate": ..., "ci_low": ..., "ci_high": ...}``
+    and checkpoints it so a resumed adaptive sweep honors the recorded
+    ``trials_used`` instead of re-running the point.  NaN stats (an
+    all-dropped point) round-trip through the checkpoint as ``None``.
+    """
+    outcome = state.outcome()
+    summary = {
+        name: (None if isinstance(value, float) and np.isnan(value) else value)
+        for name, value in outcome.summary().items()
+    }
+    payload: Dict[str, Any] = {
+        "values": [
+            sample.distance_squared
+            for sample in outcome.results
+            if sample is not None
+        ],
+        **summary,
+    }
+    if store is not None and key is not None:
+        store.save(key, payload)
+    return payload
+
+
+def adaptive_point_stats(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Row fragment (trials_used/ci) from an adaptive point payload.
+
+    Accepts both freshly settled payloads and checkpointed ones (where
+    NaN became ``None``).
+    """
+    def as_float(value: Any) -> float:
+        return float("nan") if value is None else float(value)
+
+    return {
+        "trials_used": int(payload["trials_used"]),
+        "ci_low": as_float(payload.get("ci_low")),
+        "ci_high": as_float(payload.get("ci_high")),
+    }
 
 
 def mean_distance_squared(samples: Sequence[StatisticSample]) -> float:

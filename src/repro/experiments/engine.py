@@ -89,7 +89,7 @@ import numpy as np
 from repro.errors import ConfigurationError, TrialExecutionError
 from repro.telemetry import get_telemetry
 from repro.telemetry.events import get_event_stream
-from repro.utils.rng import RngLike, spawn_seeds
+from repro.utils.rng import RngLike, ensure_rng, spawn_seeds
 
 #: A single Monte Carlo trial: ``trial(context, static_args, rng)``.
 #: Batched trials (see :func:`batch_trial`) instead receive a list of
@@ -478,11 +478,51 @@ class EngineSession:
         """
         if count < 0:
             raise ConfigurationError("trial count must be non-negative")
-        seeds = spawn_seeds(rng, count)
+        return self._run_seeds(trial, spawn_seeds(rng, count), static_args)
+
+    def run_until(
+        self,
+        trial: TrialFn,
+        rng: RngLike = None,
+        static_args: Tuple[Any, ...] = (),
+    ) -> "IncrementalRun":
+        """Open an incremental trial stream over one sweep point.
+
+        The returned :class:`IncrementalRun` executes trials in
+        caller-chosen increments (:meth:`IncrementalRun.extend`) while
+        drawing every stream seed from the *same* parent generator a
+        fixed-budget :meth:`run` would use — so after ``k`` total trials
+        the accumulated results are bit-identical to ``run(trial, k,
+        rng=<same seed>)``, for any increment sizes.  This is the
+        substrate for adaptive, precision-targeted sampling
+        (:mod:`repro.experiments.adaptive`): a caller can check a
+        confidence interval after each increment and stop early without
+        sacrificing reproducibility of the trials that did run.
+        """
+        return IncrementalRun(self, trial, rng, static_args)
+
+    def _run_seeds(
+        self,
+        trial: TrialFn,
+        seeds: Sequence[int],
+        static_args: Tuple[Any, ...],
+        first_index: int = 0,
+    ) -> List[Any]:
+        """Execute one batch of pre-drawn seeds; results in seed order.
+
+        ``first_index`` offsets the trial indices carried by events and
+        failure records so an incremental run's streams number their
+        trials globally, exactly like the fixed-budget path numbers a
+        single ``run``.
+        """
+        count = len(seeds)
         telemetry = get_telemetry()
         telemetry.count("engine.trials", count)
-        items = list(enumerate(seeds))
-        results: List[Any] = [None] * count
+        items = [(first_index + i, seed) for i, seed in enumerate(seeds)]
+        # Keyed by absolute trial index: the fixed-budget path uses a
+        # list (first_index == 0) semantics-identically, and the
+        # incremental path reuses every executor below unchanged.
+        results: Dict[int, Any] = {index: None for index, _ in items}
         chunks = _chunked(items, self._engine.resolve_chunk_size(count))
         pool = self._acquire_pool()
         if pool is None:
@@ -491,13 +531,13 @@ class EngineSession:
             # fixed chunk size.
             for chunk in chunks:
                 self._run_items_in_process(trial, static_args, chunk, results)
-            return results
+            return [results[index] for index, _ in items]
         failures: List[TrialFailure] = []
         lost = self._dispatch(pool, trial, static_args, chunks, results, failures)
         if lost:
             self._recover_lost_chunks(trial, static_args, lost, results, failures)
         self._settle_failures(failures)
-        return results
+        return [results[index] for index, _ in items]
 
     # -- failure handling ---------------------------------------------
 
@@ -532,7 +572,7 @@ class EngineSession:
         trial: TrialFn,
         static_args: Tuple[Any, ...],
         items: Sequence[Tuple[int, int]],
-        results: List[Any],
+        results: Dict[int, Any],
         failures: Optional[List[TrialFailure]] = None,
     ) -> None:
         """Sequential executor: same isolation policy, no pool.
@@ -596,7 +636,7 @@ class EngineSession:
         trial: TrialFn,
         static_args: Tuple[Any, ...],
         chunks: List[List[Tuple[int, int]]],
-        results: List[Any],
+        results: Dict[int, Any],
         failures: List[TrialFailure],
     ) -> List[List[Tuple[int, int]]]:
         """Submit chunks and fold completed results in submission order.
@@ -648,7 +688,7 @@ class EngineSession:
         trial: TrialFn,
         static_args: Tuple[Any, ...],
         lost: List[List[Tuple[int, int]]],
-        results: List[Any],
+        results: Dict[int, Any],
         failures: List[TrialFailure],
     ) -> None:
         """Re-execute chunks lost to a pool crash; completed ones stay.
@@ -726,6 +766,61 @@ class EngineSession:
                 return None
             telemetry.set_gauge("engine.workers", engine.workers)
         return self._pool
+
+
+class IncrementalRun:
+    """An open, extendable trial stream over one sweep point.
+
+    Created by :meth:`EngineSession.run_until`.  Each :meth:`extend`
+    draws its stream seeds from the same parent generator a single
+    fixed-budget :meth:`EngineSession.run` call would use, in the same
+    order — numpy's bounded-integer sampling is element-sequential, so
+    ``spawn_seeds(g, a) + spawn_seeds(g, b)`` equals
+    ``spawn_seeds(seed, a + b)`` for a generator ``g`` freshly built
+    from ``seed``.  Consequently **any prefix of an incremental run is
+    bit-identical to a fixed-budget run of that length at the same
+    seed**, which is what lets adaptive sweeps stop early without
+    forking the published numbers.
+
+    Attributes:
+        results: every trial result so far, in trial order.
+    """
+
+    def __init__(
+        self,
+        session: EngineSession,
+        trial: TrialFn,
+        rng: RngLike,
+        static_args: Tuple[Any, ...],
+    ):
+        self._session = session
+        self._trial = trial
+        self._static_args = static_args
+        self._base = ensure_rng(rng)
+        self.results: List[Any] = []
+
+    @property
+    def trials(self) -> int:
+        """Trials executed so far."""
+        return len(self.results)
+
+    def extend(self, count: int) -> List[Any]:
+        """Run ``count`` more trials; returns just the new results.
+
+        The new trials are numbered (for events and failure records)
+        after the ones already executed, exactly as a fixed-budget run
+        of the combined length would number them.
+        """
+        if count < 0:
+            raise ConfigurationError("trial count must be non-negative")
+        if count == 0:
+            return []
+        seeds = spawn_seeds(self._base, count)
+        new_results = self._session._run_seeds(
+            self._trial, seeds, self._static_args, first_index=self.trials
+        )
+        self.results.extend(new_results)
+        return new_results
 
 
 class MonteCarloEngine:

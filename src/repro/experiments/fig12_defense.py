@@ -10,14 +10,24 @@ classification is just as clean.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.defense.detector import CumulantDetector, calibrate_threshold
+from repro.experiments.adaptive import (
+    DEFAULT_REL_PRECISION,
+    AdaptiveConfig,
+    AdaptiveSweep,
+)
 from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
-from repro.experiments.defense_common import collect_distances, defense_receiver
+from repro.experiments.defense_common import (
+    collect_distances,
+    defense_receiver,
+    register_distance_point,
+    settle_distance_point,
+)
 from repro.experiments.engine import MonteCarloEngine
 from repro.telemetry.events import get_event_stream
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -33,20 +43,34 @@ def run(
     on_error: str = "raise",
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    adaptive: bool = False,
+    rel_precision: float = DEFAULT_REL_PRECISION,
+    max_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Calibrate Q on training waveforms and evaluate on held-out ones.
 
     Checkpointing persists each (SNR, split, class) collection point;
     the threshold and the table rows are cheap reductions recomputed
-    from the (possibly resumed) points every run.
+    from the (possibly resumed) points every run.  ``adaptive`` stops
+    each collection point once its mean-D_E^2 Welford CI reaches
+    ``rel_precision`` relative half-width (cap ``max_trials``).
     """
     snrs = list(snrs_db)
-    store = open_checkpoint_store(checkpoint_dir, "fig12", fingerprint={
+    adaptive_config = (
+        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
+        if adaptive else None
+    )
+    fingerprint: Dict[str, Any] = {
         "seed": rng if isinstance(rng, int) else None,
         "train_per_class": train_per_class,
         "test_per_class": test_per_class,
         "snrs_db": [float(snr) for snr in snrs],
-    }, resume=resume)
+    }
+    if adaptive_config is not None:
+        fingerprint["adaptive"] = adaptive_config.fingerprint()
+    store = open_checkpoint_store(
+        checkpoint_dir, "fig12", fingerprint=fingerprint, resume=resume
+    )
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, 4 * len(snrs))
     context = {
@@ -69,29 +93,72 @@ def run(
                 key = f"snr{snr:g}.{split}.{label}"
                 if store is None or not store.completed(key):
                     pending_trials += per_class
-    get_event_stream().declare_trials(pending_trials)
+    stream = get_event_stream()
+    stream.declare_trials(pending_trials)
     with engine.session(context) as session:
-        for i, snr in enumerate(snrs):
-            train_zigbee.extend(collect_distances(
-                session, "zigbee", snr, train_per_class, rng=rngs[4 * i],
-                store=store, key=f"snr{snr:g}.train.zigbee",
-            ))
-            train_emulated.extend(collect_distances(
-                session, "emulated", snr, train_per_class, rng=rngs[4 * i + 1],
-                store=store, key=f"snr{snr:g}.train.emulated",
-            ))
-            test_sets[snr] = (
-                collect_distances(
-                    session, "zigbee", snr, test_per_class,
-                    rng=rngs[4 * i + 2],
-                    store=store, key=f"snr{snr:g}.test.zigbee",
-                ),
-                collect_distances(
-                    session, "emulated", snr, test_per_class,
-                    rng=rngs[4 * i + 3],
-                    store=store, key=f"snr{snr:g}.test.emulated",
-                ),
+        if adaptive_config is not None:
+            sweep = AdaptiveSweep(
+                session, max(train_per_class, test_per_class),
+                config=adaptive_config, experiment="fig12",
             )
+            states = {}
+            for i, snr in enumerate(snrs):
+                specs = (
+                    ("train", "zigbee", train_per_class, rngs[4 * i]),
+                    ("train", "emulated", train_per_class, rngs[4 * i + 1]),
+                    ("test", "zigbee", test_per_class, rngs[4 * i + 2]),
+                    ("test", "emulated", test_per_class, rngs[4 * i + 3]),
+                )
+                for split, label, per_class, point_rng in specs:
+                    key = f"snr{snr:g}.{split}.{label}"
+                    if store is not None and store.completed(key):
+                        continue
+                    stream.point_started("fig12", key, trials=per_class)
+                    states[key] = register_distance_point(
+                        sweep, label, snr, rng=point_rng, key=key,
+                        base=per_class,
+                    )
+            sweep.settle()
+
+            def point_values(snr: float, split: str, label: str) -> list:
+                key = f"snr{snr:g}.{split}.{label}"
+                payload = store.get(key) if store is not None else None
+                if payload is None:
+                    payload = settle_distance_point(
+                        states[key], store=store, key=key
+                    )
+                    stream.point_finished("fig12", key, rows_so_far=0)
+                return [float(v) for v in payload["values"]]
+
+            for snr in snrs:
+                train_zigbee.extend(point_values(snr, "train", "zigbee"))
+                train_emulated.extend(point_values(snr, "train", "emulated"))
+                test_sets[snr] = (
+                    point_values(snr, "test", "zigbee"),
+                    point_values(snr, "test", "emulated"),
+                )
+        else:
+            for i, snr in enumerate(snrs):
+                train_zigbee.extend(collect_distances(
+                    session, "zigbee", snr, train_per_class, rng=rngs[4 * i],
+                    store=store, key=f"snr{snr:g}.train.zigbee",
+                ))
+                train_emulated.extend(collect_distances(
+                    session, "emulated", snr, train_per_class, rng=rngs[4 * i + 1],
+                    store=store, key=f"snr{snr:g}.train.emulated",
+                ))
+                test_sets[snr] = (
+                    collect_distances(
+                        session, "zigbee", snr, test_per_class,
+                        rng=rngs[4 * i + 2],
+                        store=store, key=f"snr{snr:g}.test.zigbee",
+                    ),
+                    collect_distances(
+                        session, "emulated", snr, test_per_class,
+                        rng=rngs[4 * i + 3],
+                        store=store, key=f"snr{snr:g}.test.emulated",
+                    ),
+                )
 
     threshold = calibrate_threshold(train_zigbee, train_emulated)
 

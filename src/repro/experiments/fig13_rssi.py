@@ -16,6 +16,11 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.environment import RealEnvironment
+from repro.experiments.adaptive import (
+    DEFAULT_REL_PRECISION,
+    AdaptiveConfig,
+    AdaptiveSweep,
+)
 from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic
 from repro.experiments.engine import MonteCarloEngine
@@ -37,6 +42,11 @@ def _rssi_trial(
     return mean_rx_dbm + relative_db
 
 
+def _rssi_value(value: Optional[float]) -> Optional[float]:
+    """Adaptive-mean observation: the trial already returns dBm/None."""
+    return value
+
+
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8),
     packets_per_point: int = 5,
@@ -46,18 +56,33 @@ def run(
     on_error: str = "raise",
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    adaptive: bool = False,
+    rel_precision: float = DEFAULT_REL_PRECISION,
+    max_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """RSSI vs distance, analytic and measured.
 
     ``checkpoint_dir``/``resume`` persist (and skip) completed distance
     rows; ``on_error`` selects the engine's trial-failure policy.
+    ``adaptive`` stops each distance point once the measured-RSSI
+    Welford CI reaches ``rel_precision`` relative half-width (cap
+    ``max_trials``), adding ``trials_used`` to each row.
     """
     distances = list(distances_m)
-    store = open_checkpoint_store(checkpoint_dir, "fig13", fingerprint={
+    adaptive_config = (
+        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
+        if adaptive else None
+    )
+    fingerprint: Dict[str, Any] = {
         "seed": rng if isinstance(rng, int) else None,
         "packets_per_point": packets_per_point,
         "distances_m": [float(d) for d in distances],
-    }, resume=resume)
+    }
+    if adaptive_config is not None:
+        fingerprint["adaptive"] = adaptive_config.fingerprint()
+    store = open_checkpoint_store(
+        checkpoint_dir, "fig13", fingerprint=fingerprint, resume=resume
+    )
     env = RealEnvironment(rng=0)
     # Calibrate the estimator so unit sample power corresponds to the
     # transmit power at the reference distance: the channel pipeline
@@ -70,11 +95,14 @@ def run(
         "estimator": estimator,
     }
 
+    columns = ["distance_m", "budget_rssi_dbm", "measured_rssi_dbm",
+               "fading_spread_db"]
+    if adaptive:
+        columns.append("trials_used")
     result = ExperimentResult(
         experiment_id="fig13",
         title="Fig. 13 (table): RSSI vs distance at the ZigBee receiver",
-        columns=["distance_m", "budget_rssi_dbm", "measured_rssi_dbm",
-                 "fading_spread_db"],
+        columns=columns,
     )
     deterministic_budget = replace(env.budget, shadowing_sigma_db=0.0)
     rngs = spawn_rngs(rng, len(distances))
@@ -88,39 +116,88 @@ def run(
     ]
     stream.declare_trials(packets_per_point * len(pending))
     with engine.session(context) as session:
-        for i, distance in enumerate(distances):
-            point_key = f"d{distance:g}"
-            row = store.get(point_key) if store is not None else None
-            if row is None:
+        if adaptive_config is not None:
+            sweep = AdaptiveSweep(
+                session, packets_per_point, config=adaptive_config,
+                experiment="fig13",
+            )
+            states = {}
+            budget_dbm = {}
+            for i, distance in enumerate(distances):
+                point_key = f"d{distance:g}"
+                if store is not None and store.completed(point_key):
+                    continue
                 stream.point_started("fig13", point_key,
                                      trials=packets_per_point)
                 mean_rx_dbm = float(
                     deterministic_budget.received_power_dbm(distance)
                 )
-                readings = [
-                    r for r in session.run(
-                        _rssi_trial,
-                        packets_per_point,
-                        rng=rngs[i],
-                        static_args=(distance, mean_rx_dbm),
+                budget_dbm[point_key] = mean_rx_dbm
+                states[point_key] = sweep.point(
+                    _rssi_trial, rng=rngs[i],
+                    static_args=(distance, mean_rx_dbm),
+                    estimator=sweep.mean_estimator(),
+                    extract=_rssi_value, key=point_key,
+                )
+            sweep.settle()
+            for distance in distances:
+                point_key = f"d{distance:g}"
+                row = store.get(point_key) if store is not None else None
+                if row is None:
+                    outcome = states[point_key].outcome()
+                    readings = [
+                        r for r in outcome.results if r is not None
+                    ]
+                    row = {
+                        "distance_m": distance,
+                        "budget_rssi_dbm": estimator.estimate_from_power_dbm(
+                            budget_dbm[point_key]
+                        ),
+                        "measured_rssi_dbm": float(np.mean(readings)),
+                        "fading_spread_db": float(
+                            np.max(readings) - np.min(readings)
+                        ),
+                        "trials_used": outcome.trials_used,
+                    }
+                    if store is not None:
+                        store.save(point_key, row)
+                    stream.point_finished("fig13", point_key,
+                                          rows_so_far=len(result.rows) + 1)
+                result.add_row(**row)
+        else:
+            for i, distance in enumerate(distances):
+                point_key = f"d{distance:g}"
+                row = store.get(point_key) if store is not None else None
+                if row is None:
+                    stream.point_started("fig13", point_key,
+                                         trials=packets_per_point)
+                    mean_rx_dbm = float(
+                        deterministic_budget.received_power_dbm(distance)
                     )
-                    if r is not None
-                ]
-                row = {
-                    "distance_m": distance,
-                    "budget_rssi_dbm": estimator.estimate_from_power_dbm(
-                        mean_rx_dbm
-                    ),
-                    "measured_rssi_dbm": float(np.mean(readings)),
-                    "fading_spread_db": float(
-                        np.max(readings) - np.min(readings)
-                    ),
-                }
-                if store is not None:
-                    store.save(point_key, row)
-                stream.point_finished("fig13", point_key,
-                                      rows_so_far=len(result.rows) + 1)
-            result.add_row(**row)
+                    readings = [
+                        r for r in session.run(
+                            _rssi_trial,
+                            packets_per_point,
+                            rng=rngs[i],
+                            static_args=(distance, mean_rx_dbm),
+                        )
+                        if r is not None
+                    ]
+                    row = {
+                        "distance_m": distance,
+                        "budget_rssi_dbm": estimator.estimate_from_power_dbm(
+                            mean_rx_dbm
+                        ),
+                        "measured_rssi_dbm": float(np.mean(readings)),
+                        "fading_spread_db": float(
+                            np.max(readings) - np.min(readings)
+                        ),
+                    }
+                    if store is not None:
+                        store.save(point_key, row)
+                    stream.point_finished("fig13", point_key,
+                                          rows_so_far=len(result.rows) + 1)
+                result.add_row(**row)
     result.notes.append(
         "measured = link-budget mean plus per-packet fading/noise deviation "
         "over the standard 8-symbol RSSI window"

@@ -24,6 +24,11 @@ import numpy as np
 
 from repro.channel.environment import RealEnvironment
 from repro.errors import SynchronizationError
+from repro.experiments.adaptive import (
+    DEFAULT_REL_PRECISION,
+    AdaptiveConfig,
+    AdaptiveSweep,
+)
 from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import (
     ExperimentResult,
@@ -103,6 +108,11 @@ def _link_trial_batch(
     return rows
 
 
+def _packet_error_flag(row: Any) -> bool:
+    """Adaptive-rate observation: packet errored (sync losses count)."""
+    return bool(row is None or not row[1])
+
+
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8),
     trials: int = 10,
@@ -113,6 +123,9 @@ def run(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     batch: bool = True,
+    adaptive: bool = False,
+    rel_precision: float = DEFAULT_REL_PRECISION,
+    max_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Error-rate sweep over distance for both receivers and waveforms.
 
@@ -120,13 +133,25 @@ def run(
     (distance, receiver, waveform) cell; ``on_error`` selects the
     engine's trial-failure policy; ``batch`` runs trials through the
     vectorized batched receive chain (bit-identical to scalar).
+    ``adaptive`` stops each cell once its packet-error-rate Wilson CI
+    reaches ``rel_precision`` relative half-width (cap ``max_trials``),
+    adding ``trials_used`` and the CI bounds to each row.
     """
     distances = list(distances_m)
-    store = open_checkpoint_store(checkpoint_dir, "fig14", fingerprint={
+    adaptive_config = (
+        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
+        if adaptive else None
+    )
+    fingerprint: Dict[str, Any] = {
         "seed": rng if isinstance(rng, int) else None,
         "trials": trials,
         "distances_m": [float(d) for d in distances],
-    }, resume=resume)
+    }
+    if adaptive_config is not None:
+        fingerprint["adaptive"] = adaptive_config.fingerprint()
+    store = open_checkpoint_store(
+        checkpoint_dir, "fig14", fingerprint=fingerprint, resume=resume
+    )
     base = ensure_rng(rng)
     env = RealEnvironment(rng=0)
     losses = {
@@ -151,13 +176,16 @@ def run(
     }
     rssi = RssiEstimator(reference_dbm=0.0)
 
+    columns = [
+        "distance_m", "receiver", "waveform",
+        "packet_error_rate", "symbol_error_rate", "snr_db", "rssi_dbm",
+    ]
+    if adaptive:
+        columns.extend(["trials_used", "ci_low", "ci_high"])
     result = ExperimentResult(
         experiment_id="fig14",
         title="Fig. 14: waveform emulation attack performance vs distance",
-        columns=[
-            "distance_m", "receiver", "waveform",
-            "packet_error_rate", "symbol_error_rate", "snr_db", "rssi_dbm",
-        ],
+        columns=columns,
     )
     # Reported SNR/RSSI columns use the shadowing-free budget mean; the
     # per-trial channels still draw shadowing from their own streams.
@@ -171,42 +199,93 @@ def run(
         if store is None or not store.completed(f"d{d:g}.{rx}.{label}")
     ]
     stream.declare_trials(trials * len(pending))
+    link_trial = _link_trial_batch if batch else _link_trial
     with engine.session(context) as session:
-        for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
-            cell_key = f"d{distance:g}.{rx_name}.{label}"
-            row = store.get(cell_key) if store is not None else None
-            if row is None:
+        if adaptive_config is not None:
+            sweep = AdaptiveSweep(
+                session, trials, config=adaptive_config, experiment="fig14"
+            )
+            states = {}
+            for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
+                cell_key = f"d{distance:g}.{rx_name}.{label}"
+                if store is not None and store.completed(cell_key):
+                    continue
                 stream.point_started("fig14", cell_key, trials=trials)
-                outcomes = session.run(
-                    _link_trial_batch if batch else _link_trial,
-                    trials,
-                    rng=cell_rng,
+                states[cell_key] = sweep.point(
+                    link_trial, rng=cell_rng,
                     static_args=(label, rx_name, distance, losses[rx_name]),
+                    estimator=sweep.rate_estimator(),
+                    extract=_packet_error_flag, key=cell_key,
                 )
-                accumulator = ErrorRateAccumulator()
-                truth = context[label].sent.symbols[12:]
-                for outcome in outcomes:
-                    if outcome is None:
-                        accumulator.record_lost(truth.size)
-                        continue
-                    decoded, delivered, hamming = outcome
-                    accumulator.record(truth, decoded, delivered, hamming)
-                row = {
-                    "distance_m": distance,
-                    "receiver": rx_name,
-                    "waveform": label,
-                    "packet_error_rate": accumulator.packet_error_rate,
-                    "symbol_error_rate": accumulator.symbol_error_rate,
-                    "snr_db": float(mean_budget.snr_db(distance)),
-                    "rssi_dbm": rssi.estimate_from_power_dbm(
-                        float(mean_budget.received_power_dbm(distance))
-                    ),
-                }
-                if store is not None:
-                    store.save(cell_key, row)
-                stream.point_finished("fig14", cell_key,
-                                      rows_so_far=len(result.rows) + 1)
-            result.add_row(**row)
+            sweep.settle()
+            for distance, rx_name, label in cells:
+                cell_key = f"d{distance:g}.{rx_name}.{label}"
+                row = store.get(cell_key) if store is not None else None
+                if row is None:
+                    outcome = states[cell_key].outcome()
+                    accumulator = ErrorRateAccumulator()
+                    truth = context[label].sent.symbols[12:]
+                    for cell_outcome in outcome.results:
+                        if cell_outcome is None:
+                            accumulator.record_lost(truth.size)
+                            continue
+                        decoded, delivered, hamming = cell_outcome
+                        accumulator.record(truth, decoded, delivered, hamming)
+                    row = {
+                        "distance_m": distance,
+                        "receiver": rx_name,
+                        "waveform": label,
+                        "packet_error_rate": accumulator.packet_error_rate,
+                        "symbol_error_rate": accumulator.symbol_error_rate,
+                        "snr_db": float(mean_budget.snr_db(distance)),
+                        "rssi_dbm": rssi.estimate_from_power_dbm(
+                            float(mean_budget.received_power_dbm(distance))
+                        ),
+                        "trials_used": outcome.trials_used,
+                        "ci_low": outcome.ci_low,
+                        "ci_high": outcome.ci_high,
+                    }
+                    if store is not None:
+                        store.save(cell_key, row)
+                    stream.point_finished("fig14", cell_key,
+                                          rows_so_far=len(result.rows) + 1)
+                result.add_row(**row)
+        else:
+            for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
+                cell_key = f"d{distance:g}.{rx_name}.{label}"
+                row = store.get(cell_key) if store is not None else None
+                if row is None:
+                    stream.point_started("fig14", cell_key, trials=trials)
+                    outcomes = session.run(
+                        link_trial,
+                        trials,
+                        rng=cell_rng,
+                        static_args=(label, rx_name, distance, losses[rx_name]),
+                    )
+                    accumulator = ErrorRateAccumulator()
+                    truth = context[label].sent.symbols[12:]
+                    for outcome in outcomes:
+                        if outcome is None:
+                            accumulator.record_lost(truth.size)
+                            continue
+                        decoded, delivered, hamming = outcome
+                        accumulator.record(truth, decoded, delivered, hamming)
+                    row = {
+                        "distance_m": distance,
+                        "receiver": rx_name,
+                        "waveform": label,
+                        "packet_error_rate": accumulator.packet_error_rate,
+                        "symbol_error_rate": accumulator.symbol_error_rate,
+                        "snr_db": float(mean_budget.snr_db(distance)),
+                        "rssi_dbm": rssi.estimate_from_power_dbm(
+                            float(mean_budget.received_power_dbm(distance))
+                        ),
+                    }
+                    if store is not None:
+                        store.save(cell_key, row)
+                    stream.point_finished("fig14", cell_key,
+                                          rows_so_far=len(result.rows) + 1)
+                result.add_row(**row)
     result.notes.append(
         "USRP profile: quadrature demodulation + implementation loss; "
         "CC26x2 profile: coherent correlator (the paper's 'stronger "

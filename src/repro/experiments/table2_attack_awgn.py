@@ -23,6 +23,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.defense.detector import CumulantDetector
+from repro.experiments.adaptive import (
+    DEFAULT_REL_PRECISION,
+    AdaptiveConfig,
+    AdaptivePointState,
+    AdaptiveSweep,
+)
 from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import (
     ExperimentResult,
@@ -97,6 +103,16 @@ def _emulated_trial_batch(
     return [tuple(row) for row in rows]
 
 
+def _delivered_flag(row: Any) -> bool:
+    """Adaptive-rate observation: delivered, with skipped rows failing."""
+    return bool(row is not None and row[0])
+
+
+def _authentic_flag(row: Any) -> bool:
+    """Adaptive-rate observation for the scalar authentic delivery flag."""
+    return bool(row)
+
+
 @batch_trial
 def _authentic_trial_batch(
     context: Dict[str, Any],
@@ -122,6 +138,9 @@ def run(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     batch: bool = True,
+    adaptive: bool = False,
+    rel_precision: float = DEFAULT_REL_PRECISION,
+    max_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep attack success rate over SNR.
 
@@ -142,15 +161,32 @@ def run(
         batch: run trials through the vectorized batched receive chain
             (bit-identical to the scalar path at the same seed; disable
             to force the scalar oracle).
+        adaptive: stop each SNR point once its success-rate Wilson CI
+            reaches the target relative half-width, reallocating the
+            saved trials to unconverged points (``trials`` becomes the
+            per-point base budget); rows gain ``trials_used`` and the
+            CI bounds.  Default off — fixed-budget rows stay
+            bit-identical to the committed baselines.
+        rel_precision: adaptive target relative CI half-width.
+        max_trials: adaptive hard per-point cap (default ``4 * trials``).
     """
     snrs = list(snrs_db)
-    store = open_checkpoint_store(checkpoint_dir, "table2", fingerprint={
+    adaptive_config = (
+        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
+        if adaptive else None
+    )
+    fingerprint: Dict[str, Any] = {
         "seed": rng if isinstance(rng, int) else None,
         "trials": trials,
         "snrs_db": [float(snr) for snr in snrs],
         "include_authentic": include_authentic,
         "screen_defense": screen_defense,
-    }, resume=resume)
+    }
+    if adaptive_config is not None:
+        fingerprint["adaptive"] = adaptive_config.fingerprint()
+    store = open_checkpoint_store(
+        checkpoint_dir, "table2", fingerprint=fingerprint, resume=resume
+    )
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, len(snrs) * 2)
     # Seed the emulation (filler subcarriers) from the same base — drawn
@@ -167,6 +203,8 @@ def run(
         columns.append("authentic_success_rate")
     if screen_defense:
         columns.append("detected_rate")
+    if adaptive:
+        columns.extend(["trials_used", "ci_low", "ci_high"])
     result = ExperimentResult(
         experiment_id="table2",
         title="Table II: emulation attack performance under AWGN",
@@ -186,44 +224,108 @@ def run(
         trials * len(pending) * (2 if include_authentic else 1)
     )
     with engine.session(context) as session:
-        for i, snr in enumerate(snrs):
-            point_key = f"snr{snr:g}"
-            cached = store.get(point_key) if store is not None else None
-            if cached is not None:
-                result.add_row(**cached)
-                continue
-            stream.point_started("table2", point_key, trials=trials)
-            outcomes = session.run(
-                emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
+        if adaptive_config is not None:
+            sweep = AdaptiveSweep(
+                session, trials, config=adaptive_config, experiment="table2"
             )
-            outcomes = [o for o in outcomes if o is not None]
-            successes = sum(delivered for delivered, _, _ in outcomes)
-            screened = sum(was_screened for _, was_screened, _ in outcomes)
-            detections = sum(detected for _, _, detected in outcomes)
-            row = {
-                "snr_db": snr,
-                "success_rate": successes / trials,
-                "paper_success_rate": PAPER_SUCCESS_RATES.get(
-                    int(snr), float("nan")
-                ),
-            }
-            if screen_defense:
-                row["detected_rate"] = (
-                    detections / screened if screened else float("nan")
+            states: Dict[str, Tuple[AdaptivePointState,
+                                    Optional[AdaptivePointState]]] = {}
+            for i, snr in enumerate(snrs):
+                point_key = f"snr{snr:g}"
+                if store is not None and store.completed(point_key):
+                    continue
+                stream.point_started("table2", point_key, trials=trials)
+                emulated_state = sweep.point(
+                    emulated_trial, rng=rngs[2 * i], static_args=(snr,),
+                    estimator=sweep.rate_estimator(),
+                    extract=_delivered_flag, key=point_key,
                 )
-            if include_authentic:
-                delivered = session.run(
-                    authentic_trial, trials, rng=rngs[2 * i + 1],
-                    static_args=(snr,),
+                authentic_state = None
+                if include_authentic:
+                    authentic_state = sweep.point(
+                        authentic_trial, rng=rngs[2 * i + 1],
+                        static_args=(snr,),
+                        estimator=sweep.rate_estimator(),
+                        extract=_authentic_flag,
+                        key=f"{point_key}.authentic",
+                    )
+                states[point_key] = (emulated_state, authentic_state)
+            sweep.settle()
+            for snr in snrs:
+                point_key = f"snr{snr:g}"
+                cached = store.get(point_key) if store is not None else None
+                if cached is not None:
+                    result.add_row(**cached)
+                    continue
+                emulated_state, authentic_state = states[point_key]
+                outcome = emulated_state.outcome()
+                outcomes = [o for o in outcome.results if o is not None]
+                screened = sum(was_screened for _, was_screened, _ in outcomes)
+                detections = sum(detected for _, _, detected in outcomes)
+                row = {
+                    "snr_db": snr,
+                    "success_rate": outcome.estimate,
+                    "paper_success_rate": PAPER_SUCCESS_RATES.get(
+                        int(snr), float("nan")
+                    ),
+                }
+                if screen_defense:
+                    row["detected_rate"] = (
+                        detections / screened if screened else float("nan")
+                    )
+                if include_authentic and authentic_state is not None:
+                    row["authentic_success_rate"] = (
+                        authentic_state.outcome().estimate
+                    )
+                row.update(
+                    trials_used=outcome.trials_used,
+                    ci_low=outcome.ci_low,
+                    ci_high=outcome.ci_high,
                 )
-                row["authentic_success_rate"] = (
-                    sum(d for d in delivered if d is not None) / trials
+                if store is not None:
+                    store.save(point_key, row)
+                result.add_row(**row)
+                stream.point_finished("table2", point_key,
+                                      rows_so_far=len(result.rows))
+        else:
+            for i, snr in enumerate(snrs):
+                point_key = f"snr{snr:g}"
+                cached = store.get(point_key) if store is not None else None
+                if cached is not None:
+                    result.add_row(**cached)
+                    continue
+                stream.point_started("table2", point_key, trials=trials)
+                outcomes = session.run(
+                    emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
                 )
-            if store is not None:
-                store.save(point_key, row)
-            result.add_row(**row)
-            stream.point_finished("table2", point_key,
-                                  rows_so_far=len(result.rows))
+                outcomes = [o for o in outcomes if o is not None]
+                successes = sum(delivered for delivered, _, _ in outcomes)
+                screened = sum(was_screened for _, was_screened, _ in outcomes)
+                detections = sum(detected for _, _, detected in outcomes)
+                row = {
+                    "snr_db": snr,
+                    "success_rate": successes / trials,
+                    "paper_success_rate": PAPER_SUCCESS_RATES.get(
+                        int(snr), float("nan")
+                    ),
+                }
+                if screen_defense:
+                    row["detected_rate"] = (
+                        detections / screened if screened else float("nan")
+                    )
+                if include_authentic:
+                    delivered = session.run(
+                        authentic_trial, trials, rng=rngs[2 * i + 1],
+                        static_args=(snr,),
+                    )
+                    row["authentic_success_rate"] = (
+                        sum(d for d in delivered if d is not None) / trials
+                    )
+                if store is not None:
+                    store.save(point_key, row)
+                result.add_row(**row)
+                stream.point_finished("table2", point_key,
+                                      rows_so_far=len(result.rows))
     result.notes.append(
         "receiver: GNU-Radio-style profile (quadrature demod, naive decimation) "
         "matching the paper's simulation SNR axis"

@@ -9,15 +9,22 @@ a gap wide enough for a single threshold.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.defense.detector import CumulantDetector
+from repro.experiments.adaptive import (
+    DEFAULT_REL_PRECISION,
+    AdaptiveConfig,
+    AdaptiveSweep,
+)
 from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
 from repro.experiments.defense_common import (
     collect_distances,
     defense_receiver,
     mean_or_nan,
+    register_distance_point,
+    settle_distance_point,
 )
 from repro.experiments.engine import MonteCarloEngine
 from repro.telemetry.events import get_event_stream
@@ -41,6 +48,9 @@ def run(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     batch: bool = True,
+    adaptive: bool = False,
+    rel_precision: float = DEFAULT_REL_PRECISION,
+    max_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Average D_E^2 per class per SNR.
 
@@ -56,14 +66,30 @@ def run(
         resume: skip points already completed under ``checkpoint_dir``.
         batch: run trials through the vectorized batched receive chain
             (bit-identical to the scalar path at the same seed).
+        adaptive: stop each (SNR, class) point once its mean-D_E^2
+            Welford CI reaches the target relative half-width,
+            reallocating saved waveforms to unconverged points; rows
+            gain ``trials_used`` (summed over the two classes).
+        rel_precision: adaptive target relative CI half-width.
+        max_trials: adaptive hard per-point cap (default
+            ``4 * waveforms_per_point``).
     """
     snrs = list(snrs_db)
-    store = open_checkpoint_store(checkpoint_dir, "table4", fingerprint={
+    adaptive_config = (
+        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
+        if adaptive else None
+    )
+    fingerprint: Dict[str, Any] = {
         "seed": rng if isinstance(rng, int) else None,
         "waveforms_per_point": waveforms_per_point,
         "snrs_db": [float(snr) for snr in snrs],
         "chip_source": chip_source,
-    }, resume=resume)
+    }
+    if adaptive_config is not None:
+        fingerprint["adaptive"] = adaptive_config.fingerprint()
+    store = open_checkpoint_store(
+        checkpoint_dir, "table4", fingerprint=fingerprint, resume=resume
+    )
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, 2 * len(snrs))
     context = {
@@ -72,13 +98,16 @@ def run(
         "receiver": defense_receiver(),
         "detector": CumulantDetector(),
     }
+    columns = [
+        "snr_db", "zigbee_de2", "emulated_de2",
+        "paper_zigbee_de2", "paper_emulated_de2", "separation_factor",
+    ]
+    if adaptive:
+        columns.append("trials_used")
     result = ExperimentResult(
         experiment_id="table4",
         title="Table IV: averaged Euclidean distance square (D_E^2)",
-        columns=[
-            "snr_db", "zigbee_de2", "emulated_de2",
-            "paper_zigbee_de2", "paper_emulated_de2", "separation_factor",
-        ],
+        columns=columns,
     )
     engine = MonteCarloEngine(
         workers=workers, chunk_size=chunk_size, on_error=on_error
@@ -89,30 +118,80 @@ def run(
         for key in (f"snr{snr:g}.zigbee", f"snr{snr:g}.emulated")
         if store is None or not store.completed(key)
     ]
-    get_event_stream().declare_trials(waveforms_per_point * len(pending))
+    stream = get_event_stream()
+    stream.declare_trials(waveforms_per_point * len(pending))
     with engine.session(context) as session:
-        for i, snr in enumerate(snrs):
-            zigbee_values = collect_distances(
-                session, "zigbee", snr, waveforms_per_point,
-                rng=rngs[2 * i], chip_source=chip_source,
-                store=store, key=f"snr{snr:g}.zigbee", batch=batch,
+        if adaptive_config is not None:
+            sweep = AdaptiveSweep(
+                session, waveforms_per_point, config=adaptive_config,
+                experiment="table4",
             )
-            emulated_values = collect_distances(
-                session, "emulated", snr, waveforms_per_point,
-                rng=rngs[2 * i + 1], chip_source=chip_source,
-                store=store, key=f"snr{snr:g}.emulated", batch=batch,
-            )
-            zigbee_mean = mean_or_nan(zigbee_values)
-            emulated_mean = mean_or_nan(emulated_values)
-            paper = PAPER_TABLE4.get(int(snr), (float("nan"), float("nan")))
-            result.add_row(
-                snr_db=snr,
-                zigbee_de2=zigbee_mean,
-                emulated_de2=emulated_mean,
-                paper_zigbee_de2=paper[0],
-                paper_emulated_de2=paper[1],
-                separation_factor=emulated_mean / zigbee_mean if zigbee_mean else float("nan"),
-            )
+            states = {}
+            for i, snr in enumerate(snrs):
+                for offset, label in enumerate(("zigbee", "emulated")):
+                    key = f"snr{snr:g}.{label}"
+                    if store is not None and store.completed(key):
+                        continue
+                    stream.point_started("table4", key,
+                                         trials=waveforms_per_point)
+                    states[key] = register_distance_point(
+                        sweep, label, snr, rng=rngs[2 * i + offset],
+                        chip_source=chip_source, key=key, batch=batch,
+                    )
+            sweep.settle()
+            for snr in snrs:
+                means = {}
+                trials_used = 0
+                for label in ("zigbee", "emulated"):
+                    key = f"snr{snr:g}.{label}"
+                    payload = store.get(key) if store is not None else None
+                    if payload is None:
+                        payload = settle_distance_point(
+                            states[key], store=store, key=key
+                        )
+                        stream.point_finished(
+                            "table4", key, rows_so_far=len(result.rows)
+                        )
+                    means[label] = mean_or_nan(payload["values"])
+                    trials_used += int(payload["trials_used"])
+                paper = PAPER_TABLE4.get(
+                    int(snr), (float("nan"), float("nan"))
+                )
+                result.add_row(
+                    snr_db=snr,
+                    zigbee_de2=means["zigbee"],
+                    emulated_de2=means["emulated"],
+                    paper_zigbee_de2=paper[0],
+                    paper_emulated_de2=paper[1],
+                    separation_factor=(
+                        means["emulated"] / means["zigbee"]
+                        if means["zigbee"] else float("nan")
+                    ),
+                    trials_used=trials_used,
+                )
+        else:
+            for i, snr in enumerate(snrs):
+                zigbee_values = collect_distances(
+                    session, "zigbee", snr, waveforms_per_point,
+                    rng=rngs[2 * i], chip_source=chip_source,
+                    store=store, key=f"snr{snr:g}.zigbee", batch=batch,
+                )
+                emulated_values = collect_distances(
+                    session, "emulated", snr, waveforms_per_point,
+                    rng=rngs[2 * i + 1], chip_source=chip_source,
+                    store=store, key=f"snr{snr:g}.emulated", batch=batch,
+                )
+                zigbee_mean = mean_or_nan(zigbee_values)
+                emulated_mean = mean_or_nan(emulated_values)
+                paper = PAPER_TABLE4.get(int(snr), (float("nan"), float("nan")))
+                result.add_row(
+                    snr_db=snr,
+                    zigbee_de2=zigbee_mean,
+                    emulated_de2=emulated_mean,
+                    paper_zigbee_de2=paper[0],
+                    paper_emulated_de2=paper[1],
+                    separation_factor=emulated_mean / zigbee_mean if zigbee_mean else float("nan"),
+                )
     result.notes.append(
         f"defense chip source: {chip_source}; absolute D_E^2 is smaller than "
         "the paper's (cleaner receiver front end) but the class gap and "

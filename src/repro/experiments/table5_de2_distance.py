@@ -23,6 +23,11 @@ import numpy as np
 from repro.channel.environment import RealEnvironment
 from repro.defense.detector import CumulantDetector
 from repro.errors import SynchronizationError
+from repro.experiments.adaptive import (
+    DEFAULT_REL_PRECISION,
+    AdaptiveConfig,
+    AdaptiveSweep,
+)
 from repro.experiments.checkpoint import open_checkpoint_store
 from repro.experiments.common import (
     ExperimentResult,
@@ -77,6 +82,11 @@ def _distance_trial(
     ).distance_squared
 
 
+def _de2_value(value: Optional[float]) -> Optional[float]:
+    """Adaptive-mean observation: the trial already returns D_E^2/None."""
+    return value
+
+
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6),
     waveforms_per_point: int = 30,
@@ -88,6 +98,9 @@ def run(
     on_error: str = "raise",
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    adaptive: bool = False,
+    rel_precision: float = DEFAULT_REL_PRECISION,
+    max_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Average D_E^2 per class per distance under the real environment.
 
@@ -98,15 +111,27 @@ def run(
 
     ``checkpoint_dir``/``resume`` persist (and skip) completed distance
     rows; ``on_error`` selects the engine's trial-failure policy.
+    ``adaptive`` stops each (distance, class) point once its mean-D_E^2
+    Welford CI reaches ``rel_precision`` relative half-width (cap
+    ``max_trials``, default 4x), adding ``trials_used`` to each row.
     """
     distances = list(distances_m)
-    store = open_checkpoint_store(checkpoint_dir, "table5", fingerprint={
+    adaptive_config = (
+        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
+        if adaptive else None
+    )
+    fingerprint: Dict[str, Any] = {
         "seed": rng if isinstance(rng, int) else None,
         "waveforms_per_point": waveforms_per_point,
         "distances_m": [float(d) for d in distances],
         "chip_source": chip_source,
         "noise_corrected": noise_corrected,
-    }, resume=resume)
+    }
+    if adaptive_config is not None:
+        fingerprint["adaptive"] = adaptive_config.fingerprint()
+    store = open_checkpoint_store(
+        checkpoint_dir, "table5", fingerprint=fingerprint, resume=resume
+    )
     base = ensure_rng(rng)
     rngs = spawn_rngs(base, 2 * len(distances))
     env = RealEnvironment(rng=0)
@@ -117,13 +142,16 @@ def run(
         "detector": CumulantDetector(use_abs_c40=True),
         "env": env,
     }
+    columns = [
+        "distance_m", "snr_db", "zigbee_de2", "emulated_de2",
+        "paper_zigbee_de2", "paper_emulated_de2",
+    ]
+    if adaptive:
+        columns.append("trials_used")
     result = ExperimentResult(
         experiment_id="table5",
         title="Table V: averaged D_E^2 vs distance (real environment)",
-        columns=[
-            "distance_m", "snr_db", "zigbee_de2", "emulated_de2",
-            "paper_zigbee_de2", "paper_emulated_de2",
-        ],
+        columns=columns,
     )
     # Reported SNR column uses the shadowing-free budget mean; per-trial
     # channels still draw shadowing from their own streams.
@@ -138,35 +166,86 @@ def run(
     ]
     stream.declare_trials(2 * waveforms_per_point * len(pending))
     with engine.session(context) as session:
-        for i, distance in enumerate(distances):
-            point_key = f"d{distance:g}"
-            row = store.get(point_key) if store is not None else None
-            if row is None:
+        if adaptive_config is not None:
+            sweep = AdaptiveSweep(
+                session, waveforms_per_point, config=adaptive_config,
+                experiment="table5",
+            )
+            states = {}
+            for i, distance in enumerate(distances):
+                point_key = f"d{distance:g}"
+                if store is not None and store.completed(point_key):
+                    continue
                 stream.point_started("table5", point_key,
                                      trials=2 * waveforms_per_point)
-                values = {}
                 for j, label in enumerate(("zigbee", "emulated")):
-                    outcomes = session.run(
-                        _distance_trial,
-                        waveforms_per_point,
-                        rng=rngs[2 * i + j],
-                        static_args=(label, distance, chip_source, noise_corrected),
+                    states[(point_key, label)] = sweep.point(
+                        _distance_trial, rng=rngs[2 * i + j],
+                        static_args=(label, distance, chip_source,
+                                     noise_corrected),
+                        estimator=sweep.mean_estimator(),
+                        extract=_de2_value, key=f"{point_key}.{label}",
                     )
-                    values[label] = [v for v in outcomes if v is not None]
-                paper = PAPER_TABLE5.get(int(distance), (float("nan"), float("nan")))
-                row = {
-                    "distance_m": distance,
-                    "snr_db": float(mean_budget.snr_db(distance)),
-                    "zigbee_de2": mean_or_nan(values["zigbee"]),
-                    "emulated_de2": mean_or_nan(values["emulated"]),
-                    "paper_zigbee_de2": paper[0],
-                    "paper_emulated_de2": paper[1],
-                }
-                if store is not None:
-                    store.save(point_key, row)
-                stream.point_finished("table5", point_key,
-                                      rows_so_far=len(result.rows) + 1)
-            result.add_row(**row)
+            sweep.settle()
+            for distance in distances:
+                point_key = f"d{distance:g}"
+                row = store.get(point_key) if store is not None else None
+                if row is None:
+                    means = {}
+                    trials_used = 0
+                    for label in ("zigbee", "emulated"):
+                        outcome = states[(point_key, label)].outcome()
+                        means[label] = mean_or_nan(
+                            [v for v in outcome.results if v is not None]
+                        )
+                        trials_used += outcome.trials_used
+                    paper = PAPER_TABLE5.get(
+                        int(distance), (float("nan"), float("nan"))
+                    )
+                    row = {
+                        "distance_m": distance,
+                        "snr_db": float(mean_budget.snr_db(distance)),
+                        "zigbee_de2": means["zigbee"],
+                        "emulated_de2": means["emulated"],
+                        "paper_zigbee_de2": paper[0],
+                        "paper_emulated_de2": paper[1],
+                        "trials_used": trials_used,
+                    }
+                    if store is not None:
+                        store.save(point_key, row)
+                    stream.point_finished("table5", point_key,
+                                          rows_so_far=len(result.rows) + 1)
+                result.add_row(**row)
+        else:
+            for i, distance in enumerate(distances):
+                point_key = f"d{distance:g}"
+                row = store.get(point_key) if store is not None else None
+                if row is None:
+                    stream.point_started("table5", point_key,
+                                         trials=2 * waveforms_per_point)
+                    values = {}
+                    for j, label in enumerate(("zigbee", "emulated")):
+                        outcomes = session.run(
+                            _distance_trial,
+                            waveforms_per_point,
+                            rng=rngs[2 * i + j],
+                            static_args=(label, distance, chip_source, noise_corrected),
+                        )
+                        values[label] = [v for v in outcomes if v is not None]
+                    paper = PAPER_TABLE5.get(int(distance), (float("nan"), float("nan")))
+                    row = {
+                        "distance_m": distance,
+                        "snr_db": float(mean_budget.snr_db(distance)),
+                        "zigbee_de2": mean_or_nan(values["zigbee"]),
+                        "emulated_de2": mean_or_nan(values["emulated"]),
+                        "paper_zigbee_de2": paper[0],
+                        "paper_emulated_de2": paper[1],
+                    }
+                    if store is not None:
+                        store.save(point_key, row)
+                    stream.point_finished("table5", point_key,
+                                          rows_so_far=len(result.rows) + 1)
+                result.add_row(**row)
     result.notes.append(
         "detector uses |C40| (Sec. VI-C) because the real environment adds "
         "random frequency/phase offsets"

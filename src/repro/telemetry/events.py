@@ -73,6 +73,14 @@ EVENT_SCHEMAS = {
         "optional": ("trials",),
         "open": False,
     },
+    "point_converged": {
+        "required": ("experiment", "point", "trials_used"),
+        "optional": (
+            "trials_saved", "converged", "capped",
+            "estimate", "ci_low", "ci_high",
+        ),
+        "open": False,
+    },
     "trial_retry": {
         "required": ("trial_index", "attempts", "recovered"),
         "optional": (),
@@ -355,6 +363,13 @@ class EventStream:
         """A sweep point completed; ``rows_so_far`` rows exist now."""
         self.emit("point_finished", experiment=experiment, point=point,
                   rows_so_far=rows_so_far, **fields)
+
+    def point_converged(
+        self, experiment: str, point: str, trials_used: int, **fields: Any
+    ) -> None:
+        """An adaptive sweep point settled (converged, capped, or dry)."""
+        self.emit("point_converged", experiment=experiment, point=point,
+                  trials_used=trials_used, **fields)
 
     def trial_retry(
         self, trial_index: int, attempts: int, recovered: bool

@@ -110,6 +110,37 @@ class TestCheckpointStore:
         store = open_checkpoint_store(tmp_path, "table2", fingerprint={})
         assert isinstance(store, CheckpointStore)
 
+    def test_slug_collision_on_save_raises(self, tmp_path):
+        # Regression: "snr=1" and "snr:1" both slug to point_snr_1.json;
+        # the second save used to silently overwrite the first point.
+        store = CheckpointStore(tmp_path, "table2", fingerprint={})
+        store.save("snr=1", {"rate": 0.25})
+        with pytest.raises(ConfigurationError, match="collision"):
+            store.save("snr:1", {"rate": 0.75})
+        # The original point must be untouched.
+        resumed = CheckpointStore(tmp_path, "table2", fingerprint={},
+                                  resume=True)
+        assert resumed.get("snr=1") == {"rate": 0.25}
+
+    def test_slug_collision_on_get_and_completed_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, "table2", fingerprint={})
+        store.save("snr=1", {"rate": 0.25})
+        resumed = CheckpointStore(tmp_path, "table2", fingerprint={},
+                                  resume=True)
+        with pytest.raises(ConfigurationError, match="collision"):
+            resumed.completed("snr:1")
+        with pytest.raises(ConfigurationError, match="collision"):
+            resumed.get("snr:1")
+        assert resumed.resumed_keys == []
+
+    def test_same_key_resave_is_allowed(self, tmp_path):
+        store = CheckpointStore(tmp_path, "table2", fingerprint={})
+        store.save("snr7", {"rate": 0.5})
+        store.save("snr7", {"rate": 0.6})
+        resumed = CheckpointStore(tmp_path, "table2", fingerprint={},
+                                  resume=True)
+        assert resumed.get("snr7") == {"rate": 0.6}
+
     def test_meta_records_format_version(self, tmp_path):
         CheckpointStore(tmp_path, "table2", fingerprint={"seed": 1})
         meta = json.loads((tmp_path / "table2" / "meta.json").read_text())

@@ -45,6 +45,58 @@ class TestRoc:
         with pytest.raises(ConfigurationError):
             roc_curve([], [1.0])
 
+    def test_nan_scores_are_dropped_not_poisoning(self):
+        # Regression: one NaN (e.g. mean_or_nan over an all-failed
+        # point) used to make every threshold NaN, silently collapsing
+        # TPR/FPR to 0 across the whole curve.
+        clean = roc_curve([0.01, 0.02, 0.03], [1.0, 1.5, 2.0])
+        dirty = roc_curve(
+            [0.01, 0.02, 0.03, float("nan")],
+            [1.0, float("nan"), 1.5, 2.0],
+        )
+        assert dirty.dropped_authentic == 1
+        assert dirty.dropped_attack == 1
+        assert not np.isnan(dirty.thresholds).any()
+        assert np.array_equal(dirty.true_positive_rates,
+                              clean.true_positive_rates)
+        assert np.array_equal(dirty.false_positive_rates,
+                              clean.false_positive_rates)
+        assert dirty.auc == pytest.approx(clean.auc)
+
+    def test_clean_curve_reports_zero_dropped(self):
+        curve = roc_curve([0.1, 0.2], [1.0, 2.0])
+        assert curve.dropped_authentic == 0
+        assert curve.dropped_attack == 0
+
+    def test_all_nan_population_raises(self):
+        with pytest.raises(ConfigurationError):
+            roc_curve([float("nan"), float("nan")], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            roc_curve([0.1, 0.2], [float("nan")])
+
+    def test_equal_error_rate_interpolates_the_crossing(self):
+        # Regression: the EER used to snap to the nearest grid point.
+        # With h0 = [1, 2, 3], h1 = [2.5, 3.5, 4.5, 5.5] on a 4-point
+        # grid, the FNR-FPR difference runs [1, 1/2, -1/3, -1]; the
+        # sign change sits t = (1/2)/(1/2 + 1/3) = 3/5 of the way from
+        # FPR 0 to FPR 1/3, so the interpolated EER is exactly 1/5 —
+        # the old nearest-point answer was 1/6.
+        curve = roc_curve([1.0, 2.0, 3.0], [2.5, 3.5, 4.5, 5.5],
+                          num_points=4)
+        assert curve.equal_error_rate() == pytest.approx(0.2, abs=1e-12)
+
+    def test_equal_error_rate_exact_grid_crossing(self):
+        # A symmetric overlap puts FNR == FPR exactly on a grid point;
+        # the interpolation must return it unchanged.
+        curve = roc_curve([1.0, 3.0], [2.0, 4.0], num_points=5)
+        fnr = 1.0 - curve.true_positive_rates
+        diff = fnr - curve.false_positive_rates
+        assert (diff == 0.0).any()
+        index = int(np.flatnonzero(diff == 0.0)[0])
+        assert curve.equal_error_rate() == pytest.approx(
+            float(curve.false_positive_rates[index])
+        )
+
     def test_defense_scores_give_perfect_auc(self, authentic_link, emulated_link):
         """End-to-end: the cumulant statistic yields AUC = 1 at 17 dB."""
         from repro.channel.awgn import AwgnChannel

@@ -85,6 +85,41 @@ class TestStatisticInvariants:
         assert abs(estimate.c40_hat) <= m4 + 3.0
 
 
+_finite_scores = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=30,
+)
+_nan_padding = st.lists(st.just(float("nan")), min_size=0, max_size=5)
+
+
+class TestRocProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(_finite_scores, _finite_scores, st.integers(2, 50),
+           _nan_padding, _nan_padding, st.randoms(use_true_random=False))
+    def test_rates_monotone_and_auc_bounded(
+        self, h0, h1, num_points, h0_nans, h1_nans, shuffler
+    ):
+        """TPR/FPR are non-decreasing as the threshold descends and the
+        AUC stays in [0, 1], for any populations — NaNs included."""
+        from repro.defense.roc import roc_curve
+
+        h0_mixed = h0 + h0_nans
+        h1_mixed = h1 + h1_nans
+        shuffler.shuffle(h0_mixed)
+        shuffler.shuffle(h1_mixed)
+        curve = roc_curve(h0_mixed, h1_mixed, num_points=num_points)
+        # Non-increasing, not strict: when every score is equal and huge
+        # the +/-margin underflows and the grid degenerates to one value.
+        assert np.all(np.diff(curve.thresholds) <= 0)
+        assert np.all(np.diff(curve.true_positive_rates) >= 0)
+        assert np.all(np.diff(curve.false_positive_rates) >= 0)
+        assert -1e-12 <= curve.auc <= 1.0 + 1e-12
+        assert curve.dropped_authentic == len(h0_nans)
+        assert curve.dropped_attack == len(h1_nans)
+        eer = curve.equal_error_rate()
+        assert -1e-12 <= eer <= 1.0 + 1e-12
+
+
 class TestWifiChainInvariants:
     @settings(max_examples=5, deadline=None)
     @given(

@@ -27,7 +27,7 @@ def build_parser() -> argparse.ArgumentParser:
             "AST-based invariant checker for the Hide-and-Seek "
             "reproduction: determinism, picklability, telemetry "
             "discipline, and whole-program batch/schema/counter parity "
-            "(rules R001-R011, see docs/STATIC_ANALYSIS.md)"
+            "(rules R001-R012, see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(

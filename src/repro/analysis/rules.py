@@ -48,6 +48,25 @@ DIRECT_STREAM_WRITES = {
     "sys.stderr.writelines",
 }
 
+#: Engine-wiring primitives owned by the sweep runner (see R012).
+ENGINE_WIRING_NAMES = {
+    "MonteCarloEngine",
+    "open_checkpoint_store",
+    "AdaptiveSweep",
+}
+
+#: Path suffixes allowed to touch the engine-wiring primitives: the
+#: sweep runner itself, the layers it is built from, the throughput
+#: bench, and the package facade that re-exports the public names.
+ENGINE_WIRING_HOMES = (
+    "repro/experiments/sweep.py",
+    "repro/experiments/engine.py",
+    "repro/experiments/checkpoint.py",
+    "repro/experiments/adaptive.py",
+    "repro/experiments/bench.py",
+    "repro/experiments/__init__.py",
+)
+
 #: Parameter names that count as "accepts a seedable stream".
 RNG_PARAMETER_NAMES = {"rng", "rngs", "seed", "seeds"}
 
@@ -567,6 +586,46 @@ class NoSloppyLibraryCode:
                     f"specific exception types this site can handle",
                 )
                 return
+
+
+@rule
+class NoDirectEngineWiring:
+    """R012 — engine/checkpoint/adaptive wiring lives in the sweep runner."""
+
+    code = "R012"
+    name = "no-direct-engine-wiring"
+    rationale = (
+        "Experiment drivers that hand-wire MonteCarloEngine, checkpoint "
+        "stores, or AdaptiveSweep re-implement the sweep runner's "
+        "fingerprinting, RNG-slot, and telemetry contracts and drift out "
+        "of them; drivers declare a SweepSpec and let run_sweep own the "
+        "wiring."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not module.is_library or module.path.endswith(ENGINE_WIRING_HOMES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in ENGINE_WIRING_NAMES:
+                        yield _diag(
+                            module, node, self.code,
+                            f"direct engine wiring: '{alias.name}' is owned "
+                            f"by repro.experiments.sweep; declare a "
+                            f"SweepSpec and call run_sweep instead",
+                        )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = module.resolve(node)
+                if resolved is None:
+                    continue
+                if resolved.rsplit(".", 1)[-1] in ENGINE_WIRING_NAMES:
+                    yield _diag(
+                        module, node, self.code,
+                        f"direct engine wiring: '{resolved}' is owned by "
+                        f"repro.experiments.sweep; declare a SweepSpec "
+                        f"and call run_sweep instead",
+                    )
 
 
 @rule

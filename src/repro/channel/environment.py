@@ -44,7 +44,12 @@ class RealEnvironment:
 
     Attributes:
         budget: distance -> SNR link budget.
-        k_factor_db: Rician K factor of the block fading (LoS links).
+        fading: block-fading profile — ``"rician"`` (the paper's LoS
+            links), ``"rayleigh"`` (no LoS component, for scenario
+            sweeps), or ``"none"``.
+        k_factor_db: Rician K factor of the block fading (LoS links);
+            ``None`` disables the fading stage under the ``"rician"``
+            profile.
         max_cfo_hz: per-packet random CFO bound; commodity 2.4 GHz radios
             at +/-10 ppm would see +/-24 kHz, but the receivers in the
             paper lock coarse frequency first, so the residual is small.
@@ -57,8 +62,14 @@ class RealEnvironment:
     max_cfo_hz: float = 300.0
     random_phase: bool = True
     rng: RngLike = None
+    fading: str = "rician"
 
     def __post_init__(self) -> None:
+        if self.fading not in ("rician", "rayleigh", "none"):
+            raise ValueError(
+                f"unknown fading profile {self.fading!r}; expected "
+                f"'rician', 'rayleigh', or 'none'"
+            )
         self._rng = ensure_rng(self.rng)
 
     def snr_db_at(self, distance_m: float) -> float:
@@ -86,7 +97,9 @@ class RealEnvironment:
             self._rng if rng is None else rng, 5
         )
         stages = []
-        if self.k_factor_db is not None:
+        if self.fading == "rayleigh":
+            stages.append(BlockFadingChannel(k_factor_db=None, rng=fading_rng))
+        elif self.fading == "rician" and self.k_factor_db is not None:
             stages.append(
                 BlockFadingChannel(k_factor_db=self.k_factor_db, rng=fading_rng)
             )

@@ -53,7 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list reproducible experiments")
 
     run = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="experiment id (e.g. table2) or 'all'")
+    run.add_argument("experiment", nargs="?", default=None,
+                     help="experiment id (e.g. table2) or 'all' (optional "
+                          "when --scenario names the experiment)")
+    run.add_argument("--scenario", metavar="FILE", default=None,
+                     help="run a sweep-backed experiment under a scenario "
+                          "JSON file overriding axes, channel profile, "
+                          "receiver, and detector (see docs/SCENARIOS.md)")
     run.add_argument("--trials", type=int, default=None,
                      help="override trial/waveform count where applicable")
     run.add_argument("--seed", type=int, default=0, help="RNG seed")
@@ -145,7 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run reprolint, the AST invariant checker (rules R001-R011)",
+        help="run reprolint, the AST invariant checker (rules R001-R012)",
     )
     lint.add_argument("paths", nargs="*", default=["src", "tests"],
                       help="files or directories to lint (default: src tests)")
@@ -241,8 +247,6 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _generate_report(out: str, trials: Optional[int], seed: int) -> None:
     """Run the full registry and write one markdown reproduction report."""
-    import inspect
-
     lines = [
         "# Reproduction report",
         "",
@@ -253,13 +257,8 @@ def _generate_report(out: str, trials: Optional[int], seed: int) -> None:
     for experiment_id in experiment_ids():
         entry = get_experiment(experiment_id)
         kwargs = {"rng": seed}
-        if trials is not None:
-            parameters = inspect.signature(entry.run).parameters
-            for name in ("trials", "waveforms_per_point", "num_packets",
-                         "num_waveforms", "sample_count", "packets_per_point"):
-                if name in parameters:
-                    kwargs[name] = trials
-                    break
+        if trials is not None and entry.trials_param is not None:
+            kwargs[entry.trials_param] = trials
         with stopwatch() as timer:
             result = entry.run(**kwargs)
         print(f"[{experiment_id}: {timer.seconds:.1f} s]")
@@ -373,6 +372,93 @@ def _result_to_json(result) -> Dict[str, Any]:
     }
 
 
+#: ``(capability token, CLI flag)`` pairs checked by ``_unsupported_flags``.
+_CAPABILITY_FLAGS = (
+    ("trials", "--trials"),
+    ("workers", "--workers"),
+    ("chunk_size", "--chunk-size"),
+    ("on_error", "--on-error"),
+    ("checkpoint", "--checkpoint-dir"),
+    ("batch", "--no-batch"),
+    ("adaptive", "--adaptive"),
+    ("scenario", "--scenario"),
+)
+
+
+def _requested_capabilities(args: argparse.Namespace) -> List[str]:
+    """Capability tokens the given CLI flags actually exercise."""
+    requested = []
+    if args.trials is not None:
+        requested.append("trials")
+    if args.workers is not None:
+        requested.append("workers")
+    if args.chunk_size is not None:
+        requested.append("chunk_size")
+    if args.on_error != "raise":
+        requested.append("on_error")
+    if args.checkpoint_dir is not None:
+        requested.append("checkpoint")
+    if args.no_batch:
+        requested.append("batch")
+    if args.adaptive:
+        requested.append("adaptive")
+    if args.scenario is not None:
+        requested.append("scenario")
+    return requested
+
+
+def _unsupported_flags(entry, args: argparse.Namespace) -> List[str]:
+    """CLI flags the entry's declared capabilities cannot honour."""
+    requested = set(_requested_capabilities(args))
+    return [
+        flag for capability, flag in _CAPABILITY_FLAGS
+        if capability in requested and capability not in entry.capabilities
+    ]
+
+
+def _entry_kwargs(
+    entry,
+    trials: Optional[int],
+    workers: Any,
+    chunk_size: Optional[int],
+    on_error: str,
+    checkpoint_dir: Optional[str],
+    resume: bool,
+    batch: bool,
+    adaptive: bool,
+    rel_precision: Optional[float],
+    max_trials: Optional[int],
+) -> Dict[str, Any]:
+    """Engine keyword arguments from the entry's declared capabilities.
+
+    Flags an entry does not declare are dropped here — the strict
+    named-experiment path has already rejected them, and ``run all``
+    deliberately applies each flag only where it is supported.
+    """
+    capabilities = entry.capabilities
+    kwargs: Dict[str, Any] = {}
+    if trials is not None and "trials" in capabilities:
+        kwargs[entry.trials_param] = trials
+    if workers is not None and "workers" in capabilities:
+        kwargs["workers"] = workers
+    if chunk_size is not None and "chunk_size" in capabilities:
+        kwargs["chunk_size"] = chunk_size
+    if on_error != "raise" and "on_error" in capabilities:
+        kwargs["on_error"] = on_error
+    if checkpoint_dir is not None and "checkpoint" in capabilities:
+        kwargs["checkpoint_dir"] = checkpoint_dir
+        kwargs["resume"] = resume
+    if not batch and "batch" in capabilities:
+        kwargs["batch"] = False
+    if adaptive and "adaptive" in capabilities:
+        kwargs["adaptive"] = True
+        if rel_precision is not None:
+            kwargs["rel_precision"] = rel_precision
+        if max_trials is not None:
+            kwargs["max_trials"] = max_trials
+    return kwargs
+
+
 def _run_one(
     experiment_id: str,
     trials: Optional[int],
@@ -389,57 +475,50 @@ def _run_one(
     adaptive: bool = False,
     rel_precision: Optional[float] = None,
     max_trials: Optional[int] = None,
+    scenario: Optional[Dict[str, Any]] = None,
 ) -> None:
     telemetry = get_telemetry()
     entry = get_experiment(experiment_id)
-    kwargs = {"rng": seed}
-    # Each runner names its count differently; probe the signature.
-    import inspect
+    kwargs = _entry_kwargs(
+        entry, trials, workers, chunk_size, on_error,
+        checkpoint_dir, resume, batch, adaptive, rel_precision, max_trials,
+    )
+    scenario_overrides: Optional[Dict[str, Any]] = None
+    if scenario is not None:
+        from repro.experiments.sweep import apply_scenario, run_sweep
 
-    parameters = inspect.signature(entry.run).parameters
-    if trials is not None:
-        for name in ("trials", "waveforms_per_point", "num_packets",
-                     "num_waveforms", "sample_count"):
-            if name in parameters:
-                kwargs[name] = trials
-                break
-    # Engine-backed runners accept worker/chunk knobs; others stay serial.
-    if workers is not None and "workers" in parameters:
-        kwargs["workers"] = workers
-    if chunk_size is not None and "chunk_size" in parameters:
-        kwargs["chunk_size"] = chunk_size
-    if on_error != "raise" and "on_error" in parameters:
-        kwargs["on_error"] = on_error
-    if checkpoint_dir is not None and "checkpoint_dir" in parameters:
-        kwargs["checkpoint_dir"] = checkpoint_dir
-        kwargs["resume"] = resume
-    if not batch and "batch" in parameters:
-        kwargs["batch"] = False
-    if adaptive and "adaptive" in parameters:
-        kwargs["adaptive"] = True
-        if rel_precision is not None:
-            kwargs["rel_precision"] = rel_precision
-        if max_trials is not None:
-            kwargs["max_trials"] = max_trials
+        scenario_overrides = apply_scenario(entry.spec, scenario)
+        overrides = dict(scenario_overrides)
+        if entry.trials_param is not None and entry.trials_param in kwargs:
+            # --trials wins over the scenario's own trial-count axis.
+            overrides[entry.trials_param] = kwargs.pop(entry.trials_param)
+
+        def runner(**kw):
+            """Scenario runs go straight through the spec runner."""
+            return run_sweep(entry.spec, overrides=overrides, rng=seed, **kw)
+    else:
+
+        def runner(**kw):
+            """Plain runs call the registered runner as before."""
+            return entry.run(rng=seed, **kw)
     with stopwatch() as timer:
         with telemetry.span(f"experiment.{experiment_id}"):
-            result = entry.run(**kwargs)
+            result = runner(**kwargs)
     elapsed = timer.seconds
     span_tree = None
     if telemetry.enabled:
         # Attach this experiment's subtree, not the whole run's.
         node = telemetry.root.children.get(f"experiment.{experiment_id}")
         span_tree = node.to_dict() if node is not None else None
-    result.attach_manifest(
-        seed=seed,
-        config={"trials": trials, "workers": workers,
-                "chunk_size": chunk_size, "on_error": on_error,
-                "checkpoint_dir": checkpoint_dir, "resume": resume,
-                "adaptive": adaptive, "rel_precision": rel_precision,
-                "max_trials": max_trials,
-                "elapsed_seconds": round(elapsed, 3)},
-        span_tree=span_tree,
-    )
+    config = {"trials": trials, "workers": workers,
+              "chunk_size": chunk_size, "on_error": on_error,
+              "checkpoint_dir": checkpoint_dir, "resume": resume,
+              "adaptive": adaptive, "rel_precision": rel_precision,
+              "max_trials": max_trials,
+              "elapsed_seconds": round(elapsed, 3)}
+    if scenario_overrides is not None:
+        config["scenario"] = scenario_overrides
+    result.attach_manifest(seed=seed, config=config, span_tree=span_tree)
     if as_json:
         print(json.dumps(_result_to_json(result), default=_json_default))
     else:
@@ -677,6 +756,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --rel-precision/--max-trials require --adaptive",
               file=sys.stderr)
         return 2
+    scenario = None
+    if args.scenario is not None:
+        from repro.errors import ConfigurationError
+        from repro.experiments.sweep import load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+            if args.experiment not in (None, scenario["experiment"]):
+                raise ConfigurationError(
+                    f"scenario file targets {scenario['experiment']!r} "
+                    f"but the command line names {args.experiment!r}"
+                )
+            args.experiment = scenario["experiment"]
+            get_experiment(args.experiment)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.experiment is None:
+        print("error: name an experiment id (or 'all'), or pass "
+              "--scenario FILE", file=sys.stderr)
+        return 2
+    if args.experiment != "all":
+        # Strict for a named experiment: every flag must be a declared
+        # capability.  'run all' stays lenient and applies each flag
+        # only where the entry declares support.
+        entry = get_experiment(args.experiment)
+        unsupported = _unsupported_flags(entry, args)
+        if unsupported:
+            declared = ", ".join(sorted(entry.capabilities)) or "none"
+            print(f"error: {args.experiment} does not support "
+                  f"{', '.join(unsupported)}; declared capabilities: "
+                  f"{declared}", file=sys.stderr)
+            return 2
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     use_telemetry = (
         args.telemetry or args.telemetry_out is not None or args.live
@@ -702,7 +814,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                      batch=not args.no_batch,
                      adaptive=args.adaptive,
                      rel_precision=args.rel_precision,
-                     max_trials=args.max_trials)
+                     max_trials=args.max_trials,
+                     scenario=scenario)
         status = "ok"
     finally:
         if use_telemetry:

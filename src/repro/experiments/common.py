@@ -175,12 +175,22 @@ def transmit_once(
     receiver: ZigBeeReceiver,
     snr_db: Optional[float],
     rng: RngLike = None,
+    channel_factory: Optional[Callable[..., Any]] = None,
 ) -> Optional[ReceivedPacket]:
-    """One noisy transmission of a prepared waveform; None = sync lost."""
+    """One noisy transmission of a prepared waveform; None = sync lost.
+
+    ``channel_factory`` (a scenario override; see
+    :mod:`repro.experiments.sweep`) replaces the default AWGN stage with
+    ``channel_factory(snr_db, rng)``; the default path is untouched and
+    stays byte-identical to the committed baselines.
+    """
     telemetry = get_telemetry()
     with telemetry.span("experiment.transmit_once"):
         waveform = prepared.on_air
-        if snr_db is not None:
+        if channel_factory is not None:
+            with telemetry.span("channel.custom"):
+                waveform = channel_factory(snr_db, rng).apply(waveform)
+        elif snr_db is not None:
             with telemetry.span("channel.awgn"):
                 waveform = AwgnChannel(snr_db=snr_db, rng=rng).apply(waveform)
         try:
@@ -195,13 +205,16 @@ def transmit_batch(
     receiver: ZigBeeReceiver,
     snr_db: Optional[float],
     rngs: Sequence[np.random.Generator],
+    channel_factory: Optional[Callable[..., Any]] = None,
 ) -> List[Optional[ReceivedPacket]]:
     """Batched :func:`transmit_once`: one noise realization per RNG.
 
     The prepared waveform is normalized once; each row's noise is drawn
     with the exact same 1-D generator calls :class:`AwgnChannel` makes
     (so row ``r`` is bit-identical to ``transmit_once`` with ``rngs[r]``)
-    and the whole stack goes through the receiver's batched chain.
+    and the whole stack goes through the receiver's batched chain.  A
+    ``channel_factory`` replaces the AWGN stage row by row, keeping the
+    per-row bit-identity with the scalar path.
     """
     from repro.utils.signal_ops import db_to_linear, normalize_power
 
@@ -211,7 +224,14 @@ def transmit_batch(
     with telemetry.span("experiment.transmit_batch"):
         waveform = prepared.on_air
         samples = waveform.samples
-        if snr_db is None:
+        if channel_factory is not None:
+            with telemetry.span("channel.custom"):
+                rows = [
+                    channel_factory(snr_db, generator).apply(waveform).samples
+                    for generator in rngs
+                ]
+                stacked = np.stack(rows)
+        elif snr_db is None:
             stacked = np.tile(samples, (len(rngs), 1))
         else:
             with telemetry.span("channel.awgn"):

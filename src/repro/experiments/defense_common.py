@@ -5,6 +5,11 @@ Experiments default to the quadrature (frequency-discriminator) samples —
 the signal GNU Radio's receiver exposes and by far the more sensitive
 probe of the attack's cyclic-prefix discontinuities; ``chip_source``
 switches to the coherent matched-filter samples for ablations.
+
+The sweep experiments (Tables IV-V, Fig. 12) declare these trials in
+their :class:`repro.experiments.sweep.SweepSpec` plans; this module
+holds only the trial functions and pure reductions, with no engine,
+checkpoint, or adaptive wiring of its own.
 """
 
 from __future__ import annotations
@@ -15,11 +20,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.defense.detector import CumulantDetector, DetectionResult
-from repro.experiments.adaptive import AdaptivePointState, AdaptiveSweep
-from repro.experiments.checkpoint import CheckpointStore
 from repro.experiments.common import PreparedLink, transmit_batch, transmit_once
-from repro.experiments.engine import EngineSession, MonteCarloEngine, batch_trial
-from repro.telemetry.events import get_event_stream
+from repro.experiments.engine import EngineSession, batch_trial
 from repro.utils.rng import RngLike
 from repro.zigbee.receiver import ReceiverConfig, ZigBeeReceiver
 
@@ -90,7 +92,10 @@ def statistic_trial(
     link_key, chip_source, noise_corrected, snr_db = args
     prepared = context[link_key]
     rx = context["receiver"]
-    packet = transmit_once(prepared, rx, snr_db, rng)
+    packet = transmit_once(
+        prepared, rx, snr_db, rng,
+        channel_factory=context.get("channel_factory"),
+    )
     if packet is None or not packet.decoded:
         return None
     chips = extract_chips(packet, chip_source)
@@ -127,7 +132,10 @@ def statistic_trial_batch(
     link_key, chip_source, noise_corrected, snr_db = args
     prepared = context[link_key]
     rx = context["receiver"]
-    packets = transmit_batch(prepared, rx, snr_db, rngs)
+    packets = transmit_batch(
+        prepared, rx, snr_db, rngs,
+        channel_factory=context.get("channel_factory"),
+    )
     rows: List[Optional[StatisticSample]] = [None] * len(packets)
     eligible: List[int] = []
     chips_rows: List[np.ndarray] = []
@@ -188,6 +196,8 @@ def collect_statistics(
         batch: run the vectorized batched trial (bit-identical to the
             scalar trial at the same seed).
     """
+    from repro.experiments.sweep import standalone_session
+
     if chip_source not in CHIP_SOURCES:
         raise ValueError(f"chip_source must be one of {CHIP_SOURCES}")
     static_args = (link_key, chip_source, noise_corrected, snr_db)
@@ -197,138 +207,15 @@ def collect_statistics(
             "receiver": receiver or defense_receiver(),
             "detector": detector,
         }
-        session = MonteCarloEngine().session(context)
+        session = standalone_session(context)
     trial = statistic_trial_batch if batch else statistic_trial
     samples = session.run(trial, count, rng=rng, static_args=static_args)
     return [sample for sample in samples if sample is not None]
 
 
-def collect_distances(
-    session: EngineSession,
-    link_key: str,
-    snr_db: Optional[float],
-    count: int,
-    rng: RngLike = None,
-    chip_source: str = "quadrature",
-    noise_corrected: bool = False,
-    store: Optional[CheckpointStore] = None,
-    key: Optional[str] = None,
-    batch: bool = False,
-) -> List[float]:
-    """D_E^2 values for one sweep point, checkpoint-aware.
-
-    The JSON-friendly core of the defense sweeps (Table IV, Fig. 12):
-    given an open ``store`` and a point ``key``, a previously completed
-    point is served from disk (bit-identical — floats round-trip through
-    JSON exactly) and a freshly computed one is persisted atomically
-    before it is returned, so a killed sweep resumes at the first
-    incomplete point.
-    """
-    if store is not None and key is not None:
-        cached = store.get(key)
-        if cached is not None:
-            return [float(value) for value in cached]
-    stream = get_event_stream()
-    experiment = store.experiment_id if store is not None else "defense"
-    point = key or f"snr{snr_db!r}.{link_key}"
-    stream.point_started(experiment, point, trials=count)
-    values = [
-        sample.distance_squared
-        for sample in collect_statistics(
-            None, None, snr_db, count, rng=rng, chip_source=chip_source,
-            noise_corrected=noise_corrected, session=session,
-            link_key=link_key, batch=batch,
-        )
-    ]
-    if store is not None and key is not None:
-        store.save(key, values)
-    stream.point_finished(experiment, point, rows_so_far=len(values))
-    return values
-
-
 def _distance_or_none(sample: Optional[StatisticSample]) -> Optional[float]:
     """Adaptive-mean observation: D_E^2, or ``None`` for dropped rows."""
     return None if sample is None else sample.distance_squared
-
-
-def register_distance_point(
-    sweep: AdaptiveSweep,
-    link_key: str,
-    snr_db: Optional[float],
-    rng: RngLike = None,
-    chip_source: str = "quadrature",
-    noise_corrected: bool = False,
-    key: str = "",
-    batch: bool = False,
-    base: Optional[int] = None,
-) -> AdaptivePointState:
-    """Register one D_E^2 point on an adaptive sweep (pass 1).
-
-    The Welford mean estimator sees ``distance_squared`` per decoded
-    reception; receptions that never reach the defense are spent trials
-    but not observations — matching :func:`collect_distances`, whose
-    returned list also drops them.  Call :meth:`AdaptiveSweep.settle`
-    after registering every point, then :func:`settle_distance_point`.
-    """
-    if chip_source not in CHIP_SOURCES:
-        raise ValueError(f"chip_source must be one of {CHIP_SOURCES}")
-    trial = statistic_trial_batch if batch else statistic_trial
-    return sweep.point(
-        trial,
-        rng=rng,
-        static_args=(link_key, chip_source, noise_corrected, snr_db),
-        estimator=sweep.mean_estimator(),
-        extract=_distance_or_none,
-        key=key,
-        base=base,
-    )
-
-
-def settle_distance_point(
-    state: AdaptivePointState,
-    store: Optional[CheckpointStore] = None,
-    key: Optional[str] = None,
-) -> Dict[str, Any]:
-    """One settled adaptive D_E^2 point as a JSON-friendly payload.
-
-    Returns ``{"values": [...], "trials_used": ..., "converged": ...,
-    "capped": ..., "estimate": ..., "ci_low": ..., "ci_high": ...}``
-    and checkpoints it so a resumed adaptive sweep honors the recorded
-    ``trials_used`` instead of re-running the point.  NaN stats (an
-    all-dropped point) round-trip through the checkpoint as ``None``.
-    """
-    outcome = state.outcome()
-    summary = {
-        name: (None if isinstance(value, float) and np.isnan(value) else value)
-        for name, value in outcome.summary().items()
-    }
-    payload: Dict[str, Any] = {
-        "values": [
-            sample.distance_squared
-            for sample in outcome.results
-            if sample is not None
-        ],
-        **summary,
-    }
-    if store is not None and key is not None:
-        store.save(key, payload)
-    return payload
-
-
-def adaptive_point_stats(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Row fragment (trials_used/ci) from an adaptive point payload.
-
-    Accepts both freshly settled payloads and checkpointed ones (where
-    NaN became ``None``).
-    """
-    def as_float(value: Any) -> float:
-        return float("nan") if value is None else float(value)
-
-    return {
-        "trials_used": int(payload["trials_used"]),
-        "ci_low": as_float(payload.get("ci_low")),
-        "ci_high": as_float(payload.get("ci_high")),
-    }
 
 
 def mean_distance_squared(samples: Sequence[StatisticSample]) -> float:

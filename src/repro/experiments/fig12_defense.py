@@ -10,167 +10,113 @@ classification is just as clean.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.defense.detector import CumulantDetector, calibrate_threshold
-from repro.experiments.adaptive import (
-    DEFAULT_REL_PRECISION,
-    AdaptiveConfig,
-    AdaptiveSweep,
+from repro.defense.detector import calibrate_threshold
+from repro.experiments.adaptive import DEFAULT_REL_PRECISION
+from repro.experiments.common import (
+    ExperimentResult,
+    prepare_authentic,
+    prepare_emulated,
 )
-from repro.experiments.checkpoint import open_checkpoint_store
-from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
 from repro.experiments.defense_common import (
-    collect_distances,
-    defense_receiver,
-    register_distance_point,
-    settle_distance_point,
+    _distance_or_none,
+    statistic_trial,
+    statistic_trial_batch,
 )
-from repro.experiments.engine import MonteCarloEngine
-from repro.telemetry.events import get_event_stream
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.experiments.sweep import (
+    PointSpec,
+    ScenarioSupport,
+    StreamSpec,
+    SweepPlan,
+    SweepReduction,
+    SweepSpec,
+    resolve_channel_factory,
+    resolve_detector,
+    resolve_receiver,
+    run_sweep,
+)
+from repro.utils.rng import RngLike
 
 
-def run(
-    snrs_db: Sequence[float] = (7, 12, 17),
-    train_per_class: int = 25,
-    test_per_class: int = 25,
-    rng: RngLike = None,
-    workers: Optional[int] = None,
-    chunk_size: Optional[int] = None,
-    on_error: str = "raise",
-    checkpoint_dir: Optional[str] = None,
-    resume: bool = False,
-    adaptive: bool = False,
-    rel_precision: float = DEFAULT_REL_PRECISION,
-    max_trials: Optional[int] = None,
-) -> ExperimentResult:
-    """Calibrate Q on training waveforms and evaluate on held-out ones.
-
-    Checkpointing persists each (SNR, split, class) collection point;
-    the threshold and the table rows are cheap reductions recomputed
-    from the (possibly resumed) points every run.  ``adaptive`` stops
-    each collection point once its mean-D_E^2 Welford CI reaches
-    ``rel_precision`` relative half-width (cap ``max_trials``).
-    """
-    snrs = list(snrs_db)
-    adaptive_config = (
-        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
-        if adaptive else None
-    )
-    fingerprint: Dict[str, Any] = {
-        "seed": rng if isinstance(rng, int) else None,
-        "train_per_class": train_per_class,
-        "test_per_class": test_per_class,
-        "snrs_db": [float(snr) for snr in snrs],
+def _fingerprint(config: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "train_per_class": config["train_per_class"],
+        "test_per_class": config["test_per_class"],
+        "snrs_db": [float(snr) for snr in config["snrs_db"]],
     }
-    if adaptive_config is not None:
-        fingerprint["adaptive"] = adaptive_config.fingerprint()
-    store = open_checkpoint_store(
-        checkpoint_dir, "fig12", fingerprint=fingerprint, resume=resume
-    )
-    base = ensure_rng(rng)
-    rngs = spawn_rngs(base, 4 * len(snrs))
-    context = {
+
+
+def _plan(config: Mapping[str, Any]) -> SweepPlan:
+    snrs = list(config["snrs_db"])
+    budgets = {
+        "train": config["train_per_class"],
+        "test": config["test_per_class"],
+    }
+    points = []
+    for i, snr in enumerate(snrs):
+        streams = []
+        for j, (split, label) in enumerate((
+            ("train", "zigbee"), ("train", "emulated"),
+            ("test", "zigbee"), ("test", "emulated"),
+        )):
+            streams.append(StreamSpec(
+                key=f"snr{snr:g}.{split}.{label}", rng_slot=4 * i + j,
+                budget=budgets[split], trial=statistic_trial,
+                batch=statistic_trial_batch,
+                static_args=(label, "quadrature", False, snr),
+                kind="mean", extract=_distance_or_none,
+            ))
+        points.append(PointSpec(
+            key=f"snr{snr:g}", streams=tuple(streams),
+            meta={"snr_db": snr},
+        ))
+    return SweepPlan(points=tuple(points), rng_slots=4 * len(snrs))
+
+
+def _context(
+    config: Mapping[str, Any], base: np.random.Generator
+) -> Dict[str, Any]:
+    return {
         "zigbee": prepare_authentic(),
         "emulated": prepare_emulated(rng=base),
-        "receiver": defense_receiver(),
-        "detector": CumulantDetector(),
+        "receiver": resolve_receiver(config, "defense"),
+        "channel_factory": resolve_channel_factory(config),
     }
 
-    train_zigbee, train_emulated = [], []
+
+def _columns(config: Mapping[str, Any], adaptive: bool) -> List[str]:
+    return [
+        "snr_db", "zigbee_max_de2", "emulated_min_de2",
+        "false_alarm_rate", "miss_rate",
+    ]
+
+
+def _build_rows(reduction: SweepReduction) -> None:
+    snrs = [point.meta["snr_db"] for point in reduction.plan.points]
+
+    def point_values(snr: float, split: str, label: str) -> List[float]:
+        payload = reduction.payloads[f"snr{snr:g}.{split}.{label}"]
+        return [float(value) for value in payload["values"]]
+
+    train_zigbee: List[float] = []
+    train_emulated: List[float] = []
     test_sets = {}
-    engine = MonteCarloEngine(
-        workers=workers, chunk_size=chunk_size, on_error=on_error
-    )
-    pending_trials = 0
     for snr in snrs:
-        for split, per_class in (("train", train_per_class),
-                                 ("test", test_per_class)):
-            for label in ("zigbee", "emulated"):
-                key = f"snr{snr:g}.{split}.{label}"
-                if store is None or not store.completed(key):
-                    pending_trials += per_class
-    stream = get_event_stream()
-    stream.declare_trials(pending_trials)
-    with engine.session(context) as session:
-        if adaptive_config is not None:
-            sweep = AdaptiveSweep(
-                session, max(train_per_class, test_per_class),
-                config=adaptive_config, experiment="fig12",
-            )
-            states = {}
-            for i, snr in enumerate(snrs):
-                specs = (
-                    ("train", "zigbee", train_per_class, rngs[4 * i]),
-                    ("train", "emulated", train_per_class, rngs[4 * i + 1]),
-                    ("test", "zigbee", test_per_class, rngs[4 * i + 2]),
-                    ("test", "emulated", test_per_class, rngs[4 * i + 3]),
-                )
-                for split, label, per_class, point_rng in specs:
-                    key = f"snr{snr:g}.{split}.{label}"
-                    if store is not None and store.completed(key):
-                        continue
-                    stream.point_started("fig12", key, trials=per_class)
-                    states[key] = register_distance_point(
-                        sweep, label, snr, rng=point_rng, key=key,
-                        base=per_class,
-                    )
-            sweep.settle()
-
-            def point_values(snr: float, split: str, label: str) -> list:
-                key = f"snr{snr:g}.{split}.{label}"
-                payload = store.get(key) if store is not None else None
-                if payload is None:
-                    payload = settle_distance_point(
-                        states[key], store=store, key=key
-                    )
-                    stream.point_finished("fig12", key, rows_so_far=0)
-                return [float(v) for v in payload["values"]]
-
-            for snr in snrs:
-                train_zigbee.extend(point_values(snr, "train", "zigbee"))
-                train_emulated.extend(point_values(snr, "train", "emulated"))
-                test_sets[snr] = (
-                    point_values(snr, "test", "zigbee"),
-                    point_values(snr, "test", "emulated"),
-                )
-        else:
-            for i, snr in enumerate(snrs):
-                train_zigbee.extend(collect_distances(
-                    session, "zigbee", snr, train_per_class, rng=rngs[4 * i],
-                    store=store, key=f"snr{snr:g}.train.zigbee",
-                ))
-                train_emulated.extend(collect_distances(
-                    session, "emulated", snr, train_per_class, rng=rngs[4 * i + 1],
-                    store=store, key=f"snr{snr:g}.train.emulated",
-                ))
-                test_sets[snr] = (
-                    collect_distances(
-                        session, "zigbee", snr, test_per_class,
-                        rng=rngs[4 * i + 2],
-                        store=store, key=f"snr{snr:g}.test.zigbee",
-                    ),
-                    collect_distances(
-                        session, "emulated", snr, test_per_class,
-                        rng=rngs[4 * i + 3],
-                        store=store, key=f"snr{snr:g}.test.emulated",
-                    ),
-                )
+        train_zigbee.extend(point_values(snr, "train", "zigbee"))
+        train_emulated.extend(point_values(snr, "train", "emulated"))
+        test_sets[snr] = (
+            point_values(snr, "test", "zigbee"),
+            point_values(snr, "test", "emulated"),
+        )
 
     threshold = calibrate_threshold(train_zigbee, train_emulated)
 
-    result = ExperimentResult(
-        experiment_id="fig12",
-        title="Fig. 12: defense strategy performance with calibrated threshold",
-        columns=[
-            "snr_db", "zigbee_max_de2", "emulated_min_de2",
-            "false_alarm_rate", "miss_rate",
-        ],
-    )
-    all_test_z, all_test_e = [], []
+    result = reduction.result
+    all_test_z: List[float] = []
+    all_test_e: List[float] = []
     for snr, (zigbee_values, emulated_values) in test_sets.items():
         false_alarms = sum(v >= threshold for v in zigbee_values)
         misses = sum(v < threshold for v in emulated_values)
@@ -191,4 +137,66 @@ def run(
         f"calibrated threshold Q = {threshold:.4f} (paper: 0.5 on its "
         "receiver); zero classification errors expected on both sides"
     )
-    return result
+
+
+SPEC = SweepSpec(
+    experiment_id="fig12",
+    title="Fig. 12: defense strategy performance with calibrated threshold",
+    defaults={
+        "snrs_db": (7, 12, 17),
+        "train_per_class": 25,
+        "test_per_class": 25,
+    },
+    fingerprint=_fingerprint,
+    plan=_plan,
+    context=_context,
+    columns=_columns,
+    checkpoint_unit="stream",
+    build_rows=_build_rows,
+    detector=resolve_detector,
+    scenario=ScenarioSupport(
+        axes=("snrs_db", "train_per_class", "test_per_class"),
+        channel="snr",
+        receiver=True,
+        detector=True,
+    ),
+)
+
+
+def run(
+    snrs_db: Sequence[float] = (7, 12, 17),
+    train_per_class: int = 25,
+    test_per_class: int = 25,
+    rng: RngLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    batch: bool = False,
+    adaptive: bool = False,
+    rel_precision: float = DEFAULT_REL_PRECISION,
+    max_trials: Optional[int] = None,
+) -> ExperimentResult:
+    """Calibrate Q on training waveforms and evaluate on held-out ones.
+
+    Checkpointing persists each (SNR, split, class) collection point;
+    the threshold and the table rows are cheap reductions recomputed
+    from the (possibly resumed) points every run.  ``batch`` runs the
+    collections through the vectorized batched receive chain
+    (bit-identical to the scalar path at the same seed).  ``adaptive``
+    stops each collection point once its mean-D_E^2 Welford CI reaches
+    ``rel_precision`` relative half-width (cap ``max_trials``).
+    """
+    return run_sweep(
+        SPEC,
+        overrides={
+            "snrs_db": tuple(snrs_db),
+            "train_per_class": train_per_class,
+            "test_per_class": test_per_class,
+        },
+        rng=rng, workers=workers, chunk_size=chunk_size, on_error=on_error,
+        checkpoint_dir=checkpoint_dir, resume=resume, batch=batch,
+        adaptive=adaptive, rel_precision=rel_precision,
+        max_trials=max_trials,
+    )

@@ -11,22 +11,25 @@ real-environment channel.  Each measured packet is one engine trial, so
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.environment import RealEnvironment
-from repro.experiments.adaptive import (
-    DEFAULT_REL_PRECISION,
-    AdaptiveConfig,
-    AdaptiveSweep,
-)
-from repro.experiments.checkpoint import open_checkpoint_store
+from repro.channel.pathloss import LinkBudget
+from repro.experiments.adaptive import DEFAULT_REL_PRECISION
 from repro.experiments.common import ExperimentResult, prepare_authentic
-from repro.experiments.engine import MonteCarloEngine
+from repro.experiments.sweep import (
+    PointReduction,
+    PointSpec,
+    ScenarioSupport,
+    StreamSpec,
+    SweepPlan,
+    SweepSpec,
+    resolve_environment,
+    run_sweep,
+)
 from repro.hardware.rssi import RssiEstimator
-from repro.telemetry.events import get_event_stream
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.rng import RngLike
 
 
 def _rssi_trial(
@@ -45,6 +48,114 @@ def _rssi_trial(
 def _rssi_value(value: Optional[float]) -> Optional[float]:
     """Adaptive-mean observation: the trial already returns dBm/None."""
     return value
+
+
+def _fingerprint(config: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "packets_per_point": config["packets_per_point"],
+        "distances_m": [float(d) for d in config["distances_m"]],
+    }
+
+
+def _mean_budget(config: Mapping[str, Any]) -> LinkBudget:
+    # Calibration and the analytic column use the shadowing-free budget
+    # mean; per-trial channels still draw shadowing from their streams.
+    return replace(
+        resolve_environment(config, rng=0).budget, shadowing_sigma_db=0.0
+    )
+
+
+def _plan(config: Mapping[str, Any]) -> SweepPlan:
+    distances = list(config["distances_m"])
+    per_point = config["packets_per_point"]
+    budget = _mean_budget(config)
+    points = []
+    for i, distance in enumerate(distances):
+        key = f"d{distance:g}"
+        mean_rx_dbm = float(budget.received_power_dbm(distance))
+        points.append(PointSpec(
+            key=key,
+            streams=(StreamSpec(
+                key=key, rng_slot=i, budget=per_point, trial=_rssi_trial,
+                static_args=(distance, mean_rx_dbm),
+                kind="mean", extract=_rssi_value,
+            ),),
+            started_trials=per_point,
+            meta={"distance_m": distance, "mean_rx_dbm": mean_rx_dbm},
+        ))
+    return SweepPlan(points=tuple(points), rng_slots=len(distances))
+
+
+def _context(
+    config: Mapping[str, Any], base: np.random.Generator
+) -> Dict[str, Any]:
+    # Calibrate the estimator so unit sample power corresponds to the
+    # transmit power at the reference distance: the channel pipeline
+    # normalizes power, so we measure *relative* fading and re-anchor at
+    # the budget's mean RX power.
+    return {
+        "env": resolve_environment(config, rng=0),
+        "prepared": prepare_authentic(),
+        "estimator": RssiEstimator(reference_dbm=0.0),
+    }
+
+
+def _columns(config: Mapping[str, Any], adaptive: bool) -> List[str]:
+    columns = ["distance_m", "budget_rssi_dbm", "measured_rssi_dbm",
+               "fading_spread_db"]
+    if adaptive:
+        columns.append("trials_used")
+    return columns
+
+
+def _reduce_point(reduction: PointReduction) -> Dict[str, Any]:
+    meta = reduction.point.meta
+    key = reduction.point.key
+    estimator = RssiEstimator(reference_dbm=0.0)
+    if reduction.adaptive:
+        outcome = reduction.outcomes[key]
+        readings = [r for r in outcome.results if r is not None]
+    else:
+        readings = [r for r in reduction.results[key] if r is not None]
+    row = {
+        "distance_m": meta["distance_m"],
+        "budget_rssi_dbm": estimator.estimate_from_power_dbm(
+            meta["mean_rx_dbm"]
+        ),
+        "measured_rssi_dbm": float(np.mean(readings)),
+        "fading_spread_db": float(np.max(readings) - np.min(readings)),
+    }
+    if reduction.adaptive:
+        row["trials_used"] = outcome.trials_used
+    return row
+
+
+def _notes(config: Mapping[str, Any]) -> List[str]:
+    return [
+        "measured = link-budget mean plus per-packet fading/noise deviation "
+        "over the standard 8-symbol RSSI window"
+    ]
+
+
+SPEC = SweepSpec(
+    experiment_id="fig13",
+    title="Fig. 13 (table): RSSI vs distance at the ZigBee receiver",
+    defaults={
+        "distances_m": (1, 2, 3, 4, 5, 6, 7, 8),
+        "packets_per_point": 5,
+    },
+    fingerprint=_fingerprint,
+    plan=_plan,
+    context=_context,
+    columns=_columns,
+    checkpoint_unit="point",
+    reduce_point=_reduce_point,
+    notes=_notes,
+    scenario=ScenarioSupport(
+        axes=("distances_m", "packets_per_point"),
+        channel="environment",
+    ),
+)
 
 
 def run(
@@ -68,138 +179,14 @@ def run(
     Welford CI reaches ``rel_precision`` relative half-width (cap
     ``max_trials``), adding ``trials_used`` to each row.
     """
-    distances = list(distances_m)
-    adaptive_config = (
-        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
-        if adaptive else None
+    return run_sweep(
+        SPEC,
+        overrides={
+            "distances_m": tuple(distances_m),
+            "packets_per_point": packets_per_point,
+        },
+        rng=rng, workers=workers, chunk_size=chunk_size, on_error=on_error,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+        adaptive=adaptive, rel_precision=rel_precision,
+        max_trials=max_trials,
     )
-    fingerprint: Dict[str, Any] = {
-        "seed": rng if isinstance(rng, int) else None,
-        "packets_per_point": packets_per_point,
-        "distances_m": [float(d) for d in distances],
-    }
-    if adaptive_config is not None:
-        fingerprint["adaptive"] = adaptive_config.fingerprint()
-    store = open_checkpoint_store(
-        checkpoint_dir, "fig13", fingerprint=fingerprint, resume=resume
-    )
-    env = RealEnvironment(rng=0)
-    # Calibrate the estimator so unit sample power corresponds to the
-    # transmit power at the reference distance: the channel pipeline
-    # normalizes power, so we measure *relative* fading and re-anchor at
-    # the budget's mean RX power.
-    estimator = RssiEstimator(reference_dbm=0.0)
-    context = {
-        "env": env,
-        "prepared": prepare_authentic(),
-        "estimator": estimator,
-    }
-
-    columns = ["distance_m", "budget_rssi_dbm", "measured_rssi_dbm",
-               "fading_spread_db"]
-    if adaptive:
-        columns.append("trials_used")
-    result = ExperimentResult(
-        experiment_id="fig13",
-        title="Fig. 13 (table): RSSI vs distance at the ZigBee receiver",
-        columns=columns,
-    )
-    deterministic_budget = replace(env.budget, shadowing_sigma_db=0.0)
-    rngs = spawn_rngs(rng, len(distances))
-    engine = MonteCarloEngine(
-        workers=workers, chunk_size=chunk_size, on_error=on_error
-    )
-    stream = get_event_stream()
-    pending = [
-        d for d in distances
-        if store is None or not store.completed(f"d{d:g}")
-    ]
-    stream.declare_trials(packets_per_point * len(pending))
-    with engine.session(context) as session:
-        if adaptive_config is not None:
-            sweep = AdaptiveSweep(
-                session, packets_per_point, config=adaptive_config,
-                experiment="fig13",
-            )
-            states = {}
-            budget_dbm = {}
-            for i, distance in enumerate(distances):
-                point_key = f"d{distance:g}"
-                if store is not None and store.completed(point_key):
-                    continue
-                stream.point_started("fig13", point_key,
-                                     trials=packets_per_point)
-                mean_rx_dbm = float(
-                    deterministic_budget.received_power_dbm(distance)
-                )
-                budget_dbm[point_key] = mean_rx_dbm
-                states[point_key] = sweep.point(
-                    _rssi_trial, rng=rngs[i],
-                    static_args=(distance, mean_rx_dbm),
-                    estimator=sweep.mean_estimator(),
-                    extract=_rssi_value, key=point_key,
-                )
-            sweep.settle()
-            for distance in distances:
-                point_key = f"d{distance:g}"
-                row = store.get(point_key) if store is not None else None
-                if row is None:
-                    outcome = states[point_key].outcome()
-                    readings = [
-                        r for r in outcome.results if r is not None
-                    ]
-                    row = {
-                        "distance_m": distance,
-                        "budget_rssi_dbm": estimator.estimate_from_power_dbm(
-                            budget_dbm[point_key]
-                        ),
-                        "measured_rssi_dbm": float(np.mean(readings)),
-                        "fading_spread_db": float(
-                            np.max(readings) - np.min(readings)
-                        ),
-                        "trials_used": outcome.trials_used,
-                    }
-                    if store is not None:
-                        store.save(point_key, row)
-                    stream.point_finished("fig13", point_key,
-                                          rows_so_far=len(result.rows) + 1)
-                result.add_row(**row)
-        else:
-            for i, distance in enumerate(distances):
-                point_key = f"d{distance:g}"
-                row = store.get(point_key) if store is not None else None
-                if row is None:
-                    stream.point_started("fig13", point_key,
-                                         trials=packets_per_point)
-                    mean_rx_dbm = float(
-                        deterministic_budget.received_power_dbm(distance)
-                    )
-                    readings = [
-                        r for r in session.run(
-                            _rssi_trial,
-                            packets_per_point,
-                            rng=rngs[i],
-                            static_args=(distance, mean_rx_dbm),
-                        )
-                        if r is not None
-                    ]
-                    row = {
-                        "distance_m": distance,
-                        "budget_rssi_dbm": estimator.estimate_from_power_dbm(
-                            mean_rx_dbm
-                        ),
-                        "measured_rssi_dbm": float(np.mean(readings)),
-                        "fading_spread_db": float(
-                            np.max(readings) - np.min(readings)
-                        ),
-                    }
-                    if store is not None:
-                        store.save(point_key, row)
-                    stream.point_finished("fig13", point_key,
-                                          rows_so_far=len(result.rows) + 1)
-                result.add_row(**row)
-    result.notes.append(
-        "measured = link-budget mean plus per-packet fading/noise deviation "
-        "over the standard 8-symbol RSSI window"
-    )
-    return result

@@ -18,31 +18,35 @@ with results bit-identical to the serial run at the same seed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.environment import RealEnvironment
+from repro.channel.pathloss import LinkBudget
 from repro.errors import SynchronizationError
-from repro.experiments.adaptive import (
-    DEFAULT_REL_PRECISION,
-    AdaptiveConfig,
-    AdaptiveSweep,
-)
-from repro.experiments.checkpoint import open_checkpoint_store
+from repro.experiments.adaptive import DEFAULT_REL_PRECISION
 from repro.experiments.common import (
     ExperimentResult,
     packet_delivered,
     prepare_authentic,
     prepare_emulated,
 )
-from repro.experiments.engine import MonteCarloEngine, batch_trial
+from repro.experiments.engine import batch_trial
+from repro.experiments.sweep import (
+    PointReduction,
+    PointSpec,
+    ScenarioSupport,
+    StreamSpec,
+    SweepPlan,
+    SweepSpec,
+    resolve_environment,
+    run_sweep,
+)
 from repro.hardware.cc26x2 import cc26x2_receiver_config
 from repro.hardware.rssi import RssiEstimator
 from repro.hardware.usrp import usrp_receiver_config
 from repro.link.metrics import ErrorRateAccumulator
-from repro.telemetry.events import get_event_stream
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.rng import RngLike
 from repro.zigbee.receiver import ZigBeeReceiver
 
 
@@ -113,6 +117,145 @@ def _packet_error_flag(row: Any) -> bool:
     return bool(row is None or not row[1])
 
 
+def _fingerprint(config: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "trials": config["trials"],
+        "distances_m": [float(d) for d in config["distances_m"]],
+    }
+
+
+def _plan(config: Mapping[str, Any]) -> SweepPlan:
+    distances = list(config["distances_m"])
+    trials = config["trials"]
+    losses = {
+        "usrp": usrp_receiver_config().implementation_loss_db,
+        "cc26x2": cc26x2_receiver_config().implementation_loss_db,
+    }
+    cells = [
+        (distance, rx_name, label)
+        for distance in distances
+        for rx_name in ("usrp", "cc26x2")
+        for label in ("original", "emulated")
+    ]
+    points = []
+    for index, (distance, rx_name, label) in enumerate(cells):
+        key = f"d{distance:g}.{rx_name}.{label}"
+        points.append(PointSpec(
+            key=key,
+            streams=(StreamSpec(
+                key=key, rng_slot=index, budget=trials, trial=_link_trial,
+                batch=_link_trial_batch,
+                static_args=(label, rx_name, distance, losses[rx_name]),
+                kind="rate", extract=_packet_error_flag,
+            ),),
+            started_trials=trials,
+            meta={"distance_m": distance, "receiver": rx_name,
+                  "waveform": label},
+        ))
+    return SweepPlan(points=tuple(points), rng_slots=len(cells))
+
+
+def _context(
+    config: Mapping[str, Any], base: np.random.Generator
+) -> Dict[str, Any]:
+    return {
+        "env": resolve_environment(config, rng=0),
+        "receivers": {
+            "usrp": ZigBeeReceiver(usrp_receiver_config()),
+            "cc26x2": ZigBeeReceiver(cc26x2_receiver_config()),
+        },
+        "original": prepare_authentic(),
+        "emulated": prepare_emulated(rng=base),
+    }
+
+
+def _mean_budget(config: Mapping[str, Any]) -> LinkBudget:
+    # Reported SNR/RSSI columns use the shadowing-free budget mean; the
+    # per-trial channels still draw shadowing from their own streams.
+    return replace(
+        resolve_environment(config, rng=0).budget, shadowing_sigma_db=0.0
+    )
+
+
+def _columns(config: Mapping[str, Any], adaptive: bool) -> List[str]:
+    columns = [
+        "distance_m", "receiver", "waveform",
+        "packet_error_rate", "symbol_error_rate", "snr_db", "rssi_dbm",
+    ]
+    if adaptive:
+        columns.extend(["trials_used", "ci_low", "ci_high"])
+    return columns
+
+
+def _reduce_point(reduction: PointReduction) -> Dict[str, Any]:
+    meta = reduction.point.meta
+    distance = meta["distance_m"]
+    label = meta["waveform"]
+    key = reduction.point.key
+    if reduction.adaptive:
+        outcome = reduction.outcomes[key]
+        cell_outcomes = outcome.results
+    else:
+        cell_outcomes = reduction.results[key]
+    accumulator = ErrorRateAccumulator()
+    truth = reduction.context[label].sent.symbols[12:]
+    for cell_outcome in cell_outcomes:
+        if cell_outcome is None:
+            accumulator.record_lost(truth.size)
+            continue
+        decoded, delivered, hamming = cell_outcome
+        accumulator.record(truth, decoded, delivered, hamming)
+    mean_budget = _mean_budget(reduction.config)
+    rssi = RssiEstimator(reference_dbm=0.0)
+    row = {
+        "distance_m": distance,
+        "receiver": meta["receiver"],
+        "waveform": label,
+        "packet_error_rate": accumulator.packet_error_rate,
+        "symbol_error_rate": accumulator.symbol_error_rate,
+        "snr_db": float(mean_budget.snr_db(distance)),
+        "rssi_dbm": rssi.estimate_from_power_dbm(
+            float(mean_budget.received_power_dbm(distance))
+        ),
+    }
+    if reduction.adaptive:
+        row.update(
+            trials_used=outcome.trials_used,
+            ci_low=outcome.ci_low,
+            ci_high=outcome.ci_high,
+        )
+    return row
+
+
+def _notes(config: Mapping[str, Any]) -> List[str]:
+    return [
+        "USRP profile: quadrature demodulation + implementation loss; "
+        "CC26x2 profile: coherent correlator (the paper's 'stronger "
+        "demodulation functions')"
+    ]
+
+
+SPEC = SweepSpec(
+    experiment_id="fig14",
+    title="Fig. 14: waveform emulation attack performance vs distance",
+    defaults={
+        "distances_m": (1, 2, 3, 4, 5, 6, 7, 8),
+        "trials": 10,
+    },
+    fingerprint=_fingerprint,
+    plan=_plan,
+    context=_context,
+    columns=_columns,
+    checkpoint_unit="point",
+    reduce_point=_reduce_point,
+    notes=_notes,
+    scenario=ScenarioSupport(
+        axes=("distances_m", "trials"),
+        channel="environment",
+    ),
+)
+
+
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8),
     trials: int = 10,
@@ -137,158 +280,14 @@ def run(
     reaches ``rel_precision`` relative half-width (cap ``max_trials``),
     adding ``trials_used`` and the CI bounds to each row.
     """
-    distances = list(distances_m)
-    adaptive_config = (
-        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
-        if adaptive else None
-    )
-    fingerprint: Dict[str, Any] = {
-        "seed": rng if isinstance(rng, int) else None,
-        "trials": trials,
-        "distances_m": [float(d) for d in distances],
-    }
-    if adaptive_config is not None:
-        fingerprint["adaptive"] = adaptive_config.fingerprint()
-    store = open_checkpoint_store(
-        checkpoint_dir, "fig14", fingerprint=fingerprint, resume=resume
-    )
-    base = ensure_rng(rng)
-    env = RealEnvironment(rng=0)
-    losses = {
-        "usrp": usrp_receiver_config().implementation_loss_db,
-        "cc26x2": cc26x2_receiver_config().implementation_loss_db,
-    }
-    cells = [
-        (distance, rx_name, label)
-        for distance in distances
-        for rx_name in ("usrp", "cc26x2")
-        for label in ("original", "emulated")
-    ]
-    rngs = spawn_rngs(base, len(cells))
-    context = {
-        "env": env,
-        "receivers": {
-            "usrp": ZigBeeReceiver(usrp_receiver_config()),
-            "cc26x2": ZigBeeReceiver(cc26x2_receiver_config()),
+    return run_sweep(
+        SPEC,
+        overrides={
+            "distances_m": tuple(distances_m),
+            "trials": trials,
         },
-        "original": prepare_authentic(),
-        "emulated": prepare_emulated(rng=base),
-    }
-    rssi = RssiEstimator(reference_dbm=0.0)
-
-    columns = [
-        "distance_m", "receiver", "waveform",
-        "packet_error_rate", "symbol_error_rate", "snr_db", "rssi_dbm",
-    ]
-    if adaptive:
-        columns.extend(["trials_used", "ci_low", "ci_high"])
-    result = ExperimentResult(
-        experiment_id="fig14",
-        title="Fig. 14: waveform emulation attack performance vs distance",
-        columns=columns,
+        rng=rng, workers=workers, chunk_size=chunk_size, on_error=on_error,
+        checkpoint_dir=checkpoint_dir, resume=resume, batch=batch,
+        adaptive=adaptive, rel_precision=rel_precision,
+        max_trials=max_trials,
     )
-    # Reported SNR/RSSI columns use the shadowing-free budget mean; the
-    # per-trial channels still draw shadowing from their own streams.
-    mean_budget = replace(env.budget, shadowing_sigma_db=0.0)
-    engine = MonteCarloEngine(
-        workers=workers, chunk_size=chunk_size, on_error=on_error
-    )
-    stream = get_event_stream()
-    pending = [
-        (d, rx, label) for d, rx, label in cells
-        if store is None or not store.completed(f"d{d:g}.{rx}.{label}")
-    ]
-    stream.declare_trials(trials * len(pending))
-    link_trial = _link_trial_batch if batch else _link_trial
-    with engine.session(context) as session:
-        if adaptive_config is not None:
-            sweep = AdaptiveSweep(
-                session, trials, config=adaptive_config, experiment="fig14"
-            )
-            states = {}
-            for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
-                cell_key = f"d{distance:g}.{rx_name}.{label}"
-                if store is not None and store.completed(cell_key):
-                    continue
-                stream.point_started("fig14", cell_key, trials=trials)
-                states[cell_key] = sweep.point(
-                    link_trial, rng=cell_rng,
-                    static_args=(label, rx_name, distance, losses[rx_name]),
-                    estimator=sweep.rate_estimator(),
-                    extract=_packet_error_flag, key=cell_key,
-                )
-            sweep.settle()
-            for distance, rx_name, label in cells:
-                cell_key = f"d{distance:g}.{rx_name}.{label}"
-                row = store.get(cell_key) if store is not None else None
-                if row is None:
-                    outcome = states[cell_key].outcome()
-                    accumulator = ErrorRateAccumulator()
-                    truth = context[label].sent.symbols[12:]
-                    for cell_outcome in outcome.results:
-                        if cell_outcome is None:
-                            accumulator.record_lost(truth.size)
-                            continue
-                        decoded, delivered, hamming = cell_outcome
-                        accumulator.record(truth, decoded, delivered, hamming)
-                    row = {
-                        "distance_m": distance,
-                        "receiver": rx_name,
-                        "waveform": label,
-                        "packet_error_rate": accumulator.packet_error_rate,
-                        "symbol_error_rate": accumulator.symbol_error_rate,
-                        "snr_db": float(mean_budget.snr_db(distance)),
-                        "rssi_dbm": rssi.estimate_from_power_dbm(
-                            float(mean_budget.received_power_dbm(distance))
-                        ),
-                        "trials_used": outcome.trials_used,
-                        "ci_low": outcome.ci_low,
-                        "ci_high": outcome.ci_high,
-                    }
-                    if store is not None:
-                        store.save(cell_key, row)
-                    stream.point_finished("fig14", cell_key,
-                                          rows_so_far=len(result.rows) + 1)
-                result.add_row(**row)
-        else:
-            for cell_rng, (distance, rx_name, label) in zip(rngs, cells):
-                cell_key = f"d{distance:g}.{rx_name}.{label}"
-                row = store.get(cell_key) if store is not None else None
-                if row is None:
-                    stream.point_started("fig14", cell_key, trials=trials)
-                    outcomes = session.run(
-                        link_trial,
-                        trials,
-                        rng=cell_rng,
-                        static_args=(label, rx_name, distance, losses[rx_name]),
-                    )
-                    accumulator = ErrorRateAccumulator()
-                    truth = context[label].sent.symbols[12:]
-                    for outcome in outcomes:
-                        if outcome is None:
-                            accumulator.record_lost(truth.size)
-                            continue
-                        decoded, delivered, hamming = outcome
-                        accumulator.record(truth, decoded, delivered, hamming)
-                    row = {
-                        "distance_m": distance,
-                        "receiver": rx_name,
-                        "waveform": label,
-                        "packet_error_rate": accumulator.packet_error_rate,
-                        "symbol_error_rate": accumulator.symbol_error_rate,
-                        "snr_db": float(mean_budget.snr_db(distance)),
-                        "rssi_dbm": rssi.estimate_from_power_dbm(
-                            float(mean_budget.received_power_dbm(distance))
-                        ),
-                    }
-                    if store is not None:
-                        store.save(cell_key, row)
-                    stream.point_finished("fig14", cell_key,
-                                          rows_so_far=len(result.rows) + 1)
-                result.add_row(**row)
-    result.notes.append(
-        "USRP profile: quadrature demodulation + implementation loss; "
-        "CC26x2 profile: coherent correlator (the paper's 'stronger "
-        "demodulation functions')"
-    )
-    return result

@@ -11,25 +11,20 @@ over every decoded emulated packet and reports the fraction flagged —
 the "seek" half of the story on the same waveforms, which also exercises
 the defense spans/counters when telemetry is enabled.
 
-Trials run on the :mod:`repro.experiments.engine`; pass ``workers`` to
-parallelize paper-scale sweeps (results are bit-identical to serial at
-the same seed).
+The sweep is declared as :data:`SPEC` and runs on
+:func:`repro.experiments.sweep.run_sweep`, which owns all of the
+engine/checkpoint/adaptive/batch wiring; pass ``workers`` to parallelize
+paper-scale sweeps (results are bit-identical to serial at the same
+seed).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.defense.detector import CumulantDetector
-from repro.experiments.adaptive import (
-    DEFAULT_REL_PRECISION,
-    AdaptiveConfig,
-    AdaptivePointState,
-    AdaptiveSweep,
-)
-from repro.experiments.checkpoint import open_checkpoint_store
+from repro.experiments.adaptive import DEFAULT_REL_PRECISION
 from repro.experiments.common import (
     ExperimentResult,
     packet_delivered,
@@ -38,11 +33,20 @@ from repro.experiments.common import (
     transmit_batch,
     transmit_once,
 )
-from repro.experiments.engine import MonteCarloEngine, batch_trial
-from repro.hardware.usrp import gnuradio_simulation_receiver_config
-from repro.telemetry.events import get_event_stream
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
-from repro.zigbee.receiver import ZigBeeReceiver
+from repro.experiments.engine import batch_trial
+from repro.experiments.sweep import (
+    PointReduction,
+    PointSpec,
+    ScenarioSupport,
+    StreamSpec,
+    SweepPlan,
+    SweepSpec,
+    resolve_channel_factory,
+    resolve_detector,
+    resolve_receiver,
+    run_sweep,
+)
+from repro.utils.rng import RngLike
 
 PAPER_SUCCESS_RATES = {7: 0.424, 9: 0.692, 11: 0.874, 13: 0.933, 15: 0.972, 17: 1.0}
 
@@ -53,7 +57,10 @@ def _emulated_trial(
     """One noisy emulated transmission: (delivered, screened, detected)."""
     (snr,) = args
     prepared = context["emulated"]
-    packet = transmit_once(prepared, context["receiver"], snr, rng)
+    packet = transmit_once(
+        prepared, context["receiver"], snr, rng,
+        channel_factory=context.get("channel_factory"),
+    )
     delivered = packet_delivered(prepared, packet)
     screened = detected = False
     detector = context["detector"]
@@ -71,9 +78,11 @@ def _authentic_trial(
     """One noisy authentic transmission: delivered or not."""
     (snr,) = args
     prepared = context["authentic"]
-    return packet_delivered(
-        prepared, transmit_once(prepared, context["receiver"], snr, rng)
+    packet = transmit_once(
+        prepared, context["receiver"], snr, rng,
+        channel_factory=context.get("channel_factory"),
     )
+    return packet_delivered(prepared, packet)
 
 
 @batch_trial
@@ -85,7 +94,10 @@ def _emulated_trial_batch(
     """Batched :func:`_emulated_trial`: one row per RNG, bit-identical."""
     (snr,) = args
     prepared = context["emulated"]
-    packets = transmit_batch(prepared, context["receiver"], snr, rngs)
+    packets = transmit_batch(
+        prepared, context["receiver"], snr, rngs,
+        channel_factory=context.get("channel_factory"),
+    )
     detector = context["detector"]
     rows: List[List[bool]] = []
     eligible: List[Tuple[int, np.ndarray]] = []
@@ -122,8 +134,150 @@ def _authentic_trial_batch(
     """Batched :func:`_authentic_trial`: one delivery flag per RNG."""
     (snr,) = args
     prepared = context["authentic"]
-    packets = transmit_batch(prepared, context["receiver"], snr, rngs)
+    packets = transmit_batch(
+        prepared, context["receiver"], snr, rngs,
+        channel_factory=context.get("channel_factory"),
+    )
     return [packet_delivered(prepared, packet) for packet in packets]
+
+
+def _fingerprint(config: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "trials": config["trials"],
+        "snrs_db": [float(snr) for snr in config["snrs_db"]],
+        "include_authentic": config["include_authentic"],
+        "screen_defense": config["screen_defense"],
+    }
+
+
+def _plan(config: Mapping[str, Any]) -> SweepPlan:
+    snrs = list(config["snrs_db"])
+    trials = config["trials"]
+    points = []
+    for i, snr in enumerate(snrs):
+        key = f"snr{snr:g}"
+        streams = [StreamSpec(
+            key=key, rng_slot=2 * i, budget=trials,
+            trial=_emulated_trial, batch=_emulated_trial_batch,
+            static_args=(snr,), kind="rate", extract=_delivered_flag,
+        )]
+        # The authentic baseline keeps its own slot even when disabled,
+        # so the emulated stream's noise draws never move.
+        if config["include_authentic"]:
+            streams.append(StreamSpec(
+                key=f"{key}.authentic", rng_slot=2 * i + 1, budget=trials,
+                trial=_authentic_trial, batch=_authentic_trial_batch,
+                static_args=(snr,), kind="rate", extract=_authentic_flag,
+            ))
+        points.append(PointSpec(
+            key=key, streams=tuple(streams), started_trials=trials,
+            meta={"snr_db": snr},
+        ))
+    return SweepPlan(points=tuple(points), rng_slots=2 * len(snrs))
+
+
+def _context(
+    config: Mapping[str, Any], base: np.random.Generator
+) -> Dict[str, Any]:
+    # Seed the emulation (filler subcarriers) from the same base — drawn
+    # after the noise streams — so a fixed seed fixes the whole run.
+    return {
+        "receiver": resolve_receiver(config, "gnuradio"),
+        "emulated": prepare_emulated(rng=base),
+        "authentic": prepare_authentic(),
+        "channel_factory": resolve_channel_factory(config),
+    }
+
+
+def _detector(config: Mapping[str, Any]) -> Optional[Any]:
+    return resolve_detector(config) if config["screen_defense"] else None
+
+
+def _columns(config: Mapping[str, Any], adaptive: bool) -> List[str]:
+    columns = ["snr_db", "success_rate", "paper_success_rate"]
+    if config["include_authentic"]:
+        columns.append("authentic_success_rate")
+    if config["screen_defense"]:
+        columns.append("detected_rate")
+    if adaptive:
+        columns.extend(["trials_used", "ci_low", "ci_high"])
+    return columns
+
+
+def _reduce_point(reduction: PointReduction) -> Dict[str, Any]:
+    config = reduction.config
+    snr = reduction.point.meta["snr_db"]
+    trials = config["trials"]
+    key = reduction.point.key
+    if reduction.adaptive:
+        outcome = reduction.outcomes[key]
+        outcomes = [o for o in outcome.results if o is not None]
+        success_rate = outcome.estimate
+    else:
+        outcomes = [o for o in reduction.results[key] if o is not None]
+        success_rate = sum(d for d, _, _ in outcomes) / trials
+    row: Dict[str, Any] = {
+        "snr_db": snr,
+        "success_rate": success_rate,
+        "paper_success_rate": PAPER_SUCCESS_RATES.get(int(snr), float("nan")),
+    }
+    if config["screen_defense"]:
+        screened = sum(was_screened for _, was_screened, _ in outcomes)
+        detections = sum(detected for _, _, detected in outcomes)
+        row["detected_rate"] = (
+            detections / screened if screened else float("nan")
+        )
+    if config["include_authentic"]:
+        authentic_key = f"{key}.authentic"
+        if reduction.adaptive:
+            row["authentic_success_rate"] = (
+                reduction.outcomes[authentic_key].estimate
+            )
+        else:
+            delivered = reduction.results[authentic_key]
+            row["authentic_success_rate"] = (
+                sum(d for d in delivered if d is not None) / trials
+            )
+    if reduction.adaptive:
+        row.update(
+            trials_used=outcome.trials_used,
+            ci_low=outcome.ci_low,
+            ci_high=outcome.ci_high,
+        )
+    return row
+
+
+def _notes(config: Mapping[str, Any]) -> List[str]:
+    return [
+        "receiver: GNU-Radio-style profile (quadrature demod, naive "
+        "decimation) matching the paper's simulation SNR axis"
+    ]
+
+
+SPEC = SweepSpec(
+    experiment_id="table2",
+    title="Table II: emulation attack performance under AWGN",
+    defaults={
+        "snrs_db": (7, 9, 11, 13, 15, 17),
+        "trials": 100,
+        "include_authentic": True,
+        "screen_defense": True,
+    },
+    fingerprint=_fingerprint,
+    plan=_plan,
+    context=_context,
+    columns=_columns,
+    checkpoint_unit="point",
+    reduce_point=_reduce_point,
+    detector=_detector,
+    notes=_notes,
+    scenario=ScenarioSupport(
+        axes=("snrs_db", "trials", "include_authentic", "screen_defense"),
+        channel="snr",
+        receiver=True,
+        detector=True,
+    ),
+)
 
 
 def run(
@@ -142,192 +296,29 @@ def run(
     rel_precision: float = DEFAULT_REL_PRECISION,
     max_trials: Optional[int] = None,
 ) -> ExperimentResult:
-    """Sweep attack success rate over SNR.
+    """Sweep attack success rate over SNR (paper: 1000 tx per point).
 
-    Args:
-        snrs_db: SNR grid (paper: 7-17 dB in 2 dB steps).
-        trials: transmissions per point (paper: 1000).
-        include_authentic: also report the authentic-waveform success
-            rate as a sanity baseline (stays at 1.0 over this range).
-        screen_defense: also run the cumulant detector over each decoded
-            emulated packet and report the flagged fraction.
-        rng: randomness for noise realizations.
-        workers: Monte Carlo engine worker processes (default: serial).
-        chunk_size: trials per engine dispatch (default: derived).
-        on_error: engine trial-failure policy (``raise``/``retry``/``skip``).
-        checkpoint_dir: persist each completed SNR point atomically.
-        resume: skip SNR points already completed under
-            ``checkpoint_dir`` (requires the same integer seed/params).
-        batch: run trials through the vectorized batched receive chain
-            (bit-identical to the scalar path at the same seed; disable
-            to force the scalar oracle).
-        adaptive: stop each SNR point once its success-rate Wilson CI
-            reaches the target relative half-width, reallocating the
-            saved trials to unconverged points (``trials`` becomes the
-            per-point base budget); rows gain ``trials_used`` and the
-            CI bounds.  Default off — fixed-budget rows stay
-            bit-identical to the committed baselines.
-        rel_precision: adaptive target relative CI half-width.
-        max_trials: adaptive hard per-point cap (default ``4 * trials``).
+    ``include_authentic`` adds the authentic-waveform baseline column;
+    ``screen_defense`` runs the cumulant detector over each decoded
+    emulated packet and reports the flagged fraction.  The engine knobs
+    (``workers``/``chunk_size``/``on_error``/``checkpoint_dir``/
+    ``resume``/``batch``/``adaptive``/``rel_precision``/``max_trials``)
+    are the standard :func:`repro.experiments.sweep.run_sweep` contract:
+    parallel, batched, and resumed runs stay bit-identical to the serial
+    fixed-budget rows at the same seed, and ``adaptive`` stops each
+    point at its Wilson-CI precision target, adding ``trials_used`` and
+    the CI bounds to each row.
     """
-    snrs = list(snrs_db)
-    adaptive_config = (
-        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
-        if adaptive else None
+    return run_sweep(
+        SPEC,
+        overrides={
+            "snrs_db": tuple(snrs_db),
+            "trials": trials,
+            "include_authentic": include_authentic,
+            "screen_defense": screen_defense,
+        },
+        rng=rng, workers=workers, chunk_size=chunk_size, on_error=on_error,
+        checkpoint_dir=checkpoint_dir, resume=resume, batch=batch,
+        adaptive=adaptive, rel_precision=rel_precision,
+        max_trials=max_trials,
     )
-    fingerprint: Dict[str, Any] = {
-        "seed": rng if isinstance(rng, int) else None,
-        "trials": trials,
-        "snrs_db": [float(snr) for snr in snrs],
-        "include_authentic": include_authentic,
-        "screen_defense": screen_defense,
-    }
-    if adaptive_config is not None:
-        fingerprint["adaptive"] = adaptive_config.fingerprint()
-    store = open_checkpoint_store(
-        checkpoint_dir, "table2", fingerprint=fingerprint, resume=resume
-    )
-    base = ensure_rng(rng)
-    rngs = spawn_rngs(base, len(snrs) * 2)
-    # Seed the emulation (filler subcarriers) from the same base — drawn
-    # after the noise streams — so a fixed seed fixes the whole run.
-    context = {
-        "receiver": ZigBeeReceiver(gnuradio_simulation_receiver_config()),
-        "emulated": prepare_emulated(rng=base),
-        "authentic": prepare_authentic(),
-        "detector": CumulantDetector() if screen_defense else None,
-    }
-
-    columns = ["snr_db", "success_rate", "paper_success_rate"]
-    if include_authentic:
-        columns.append("authentic_success_rate")
-    if screen_defense:
-        columns.append("detected_rate")
-    if adaptive:
-        columns.extend(["trials_used", "ci_low", "ci_high"])
-    result = ExperimentResult(
-        experiment_id="table2",
-        title="Table II: emulation attack performance under AWGN",
-        columns=columns,
-    )
-    engine = MonteCarloEngine(
-        workers=workers, chunk_size=chunk_size, on_error=on_error
-    )
-    emulated_trial = _emulated_trial_batch if batch else _emulated_trial
-    authentic_trial = _authentic_trial_batch if batch else _authentic_trial
-    stream = get_event_stream()
-    pending = [
-        snr for snr in snrs
-        if store is None or not store.completed(f"snr{snr:g}")
-    ]
-    stream.declare_trials(
-        trials * len(pending) * (2 if include_authentic else 1)
-    )
-    with engine.session(context) as session:
-        if adaptive_config is not None:
-            sweep = AdaptiveSweep(
-                session, trials, config=adaptive_config, experiment="table2"
-            )
-            states: Dict[str, Tuple[AdaptivePointState,
-                                    Optional[AdaptivePointState]]] = {}
-            for i, snr in enumerate(snrs):
-                point_key = f"snr{snr:g}"
-                if store is not None and store.completed(point_key):
-                    continue
-                stream.point_started("table2", point_key, trials=trials)
-                emulated_state = sweep.point(
-                    emulated_trial, rng=rngs[2 * i], static_args=(snr,),
-                    estimator=sweep.rate_estimator(),
-                    extract=_delivered_flag, key=point_key,
-                )
-                authentic_state = None
-                if include_authentic:
-                    authentic_state = sweep.point(
-                        authentic_trial, rng=rngs[2 * i + 1],
-                        static_args=(snr,),
-                        estimator=sweep.rate_estimator(),
-                        extract=_authentic_flag,
-                        key=f"{point_key}.authentic",
-                    )
-                states[point_key] = (emulated_state, authentic_state)
-            sweep.settle()
-            for snr in snrs:
-                point_key = f"snr{snr:g}"
-                cached = store.get(point_key) if store is not None else None
-                if cached is not None:
-                    result.add_row(**cached)
-                    continue
-                emulated_state, authentic_state = states[point_key]
-                outcome = emulated_state.outcome()
-                outcomes = [o for o in outcome.results if o is not None]
-                screened = sum(was_screened for _, was_screened, _ in outcomes)
-                detections = sum(detected for _, _, detected in outcomes)
-                row = {
-                    "snr_db": snr,
-                    "success_rate": outcome.estimate,
-                    "paper_success_rate": PAPER_SUCCESS_RATES.get(
-                        int(snr), float("nan")
-                    ),
-                }
-                if screen_defense:
-                    row["detected_rate"] = (
-                        detections / screened if screened else float("nan")
-                    )
-                if include_authentic and authentic_state is not None:
-                    row["authentic_success_rate"] = (
-                        authentic_state.outcome().estimate
-                    )
-                row.update(
-                    trials_used=outcome.trials_used,
-                    ci_low=outcome.ci_low,
-                    ci_high=outcome.ci_high,
-                )
-                if store is not None:
-                    store.save(point_key, row)
-                result.add_row(**row)
-                stream.point_finished("table2", point_key,
-                                      rows_so_far=len(result.rows))
-        else:
-            for i, snr in enumerate(snrs):
-                point_key = f"snr{snr:g}"
-                cached = store.get(point_key) if store is not None else None
-                if cached is not None:
-                    result.add_row(**cached)
-                    continue
-                stream.point_started("table2", point_key, trials=trials)
-                outcomes = session.run(
-                    emulated_trial, trials, rng=rngs[2 * i], static_args=(snr,)
-                )
-                outcomes = [o for o in outcomes if o is not None]
-                successes = sum(delivered for delivered, _, _ in outcomes)
-                screened = sum(was_screened for _, was_screened, _ in outcomes)
-                detections = sum(detected for _, _, detected in outcomes)
-                row = {
-                    "snr_db": snr,
-                    "success_rate": successes / trials,
-                    "paper_success_rate": PAPER_SUCCESS_RATES.get(
-                        int(snr), float("nan")
-                    ),
-                }
-                if screen_defense:
-                    row["detected_rate"] = (
-                        detections / screened if screened else float("nan")
-                    )
-                if include_authentic:
-                    delivered = session.run(
-                        authentic_trial, trials, rng=rngs[2 * i + 1],
-                        static_args=(snr,),
-                    )
-                    row["authentic_success_rate"] = (
-                        sum(d for d in delivered if d is not None) / trials
-                    )
-                if store is not None:
-                    store.save(point_key, row)
-                result.add_row(**row)
-                stream.point_finished("table2", point_key,
-                                      rows_so_far=len(result.rows))
-    result.notes.append(
-        "receiver: GNU-Radio-style profile (quadrature demod, naive decimation) "
-        "matching the paper's simulation SNR axis"
-    )
-    return result

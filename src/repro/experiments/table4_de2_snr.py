@@ -9,32 +9,154 @@ a gap wide enough for a single threshold.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.defense.detector import CumulantDetector
-from repro.experiments.adaptive import (
-    DEFAULT_REL_PRECISION,
-    AdaptiveConfig,
-    AdaptiveSweep,
+import numpy as np
+
+from repro.experiments.adaptive import DEFAULT_REL_PRECISION
+from repro.experiments.common import (
+    ExperimentResult,
+    prepare_authentic,
+    prepare_emulated,
 )
-from repro.experiments.checkpoint import open_checkpoint_store
-from repro.experiments.common import ExperimentResult, prepare_authentic, prepare_emulated
 from repro.experiments.defense_common import (
-    collect_distances,
-    defense_receiver,
+    _distance_or_none,
     mean_or_nan,
-    register_distance_point,
-    settle_distance_point,
+    statistic_trial,
+    statistic_trial_batch,
 )
-from repro.experiments.engine import MonteCarloEngine
-from repro.telemetry.events import get_event_stream
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.experiments.sweep import (
+    PointSpec,
+    ScenarioSupport,
+    StreamSpec,
+    SweepPlan,
+    SweepReduction,
+    SweepSpec,
+    resolve_channel_factory,
+    resolve_detector,
+    resolve_receiver,
+    run_sweep,
+)
+from repro.utils.rng import RngLike
 
 PAPER_TABLE4 = {
     7: (0.1546, 1.7140),
     12: (0.0642, 1.6238),
     17: (0.0421, 1.5536),
 }
+
+
+def _fingerprint(config: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "waveforms_per_point": config["waveforms_per_point"],
+        "snrs_db": [float(snr) for snr in config["snrs_db"]],
+        "chip_source": config["chip_source"],
+    }
+
+
+def _plan(config: Mapping[str, Any]) -> SweepPlan:
+    snrs = list(config["snrs_db"])
+    per_point = config["waveforms_per_point"]
+    chip_source = config["chip_source"]
+    points = []
+    for i, snr in enumerate(snrs):
+        streams = tuple(
+            StreamSpec(
+                key=f"snr{snr:g}.{label}", rng_slot=2 * i + offset,
+                budget=per_point, trial=statistic_trial,
+                batch=statistic_trial_batch,
+                static_args=(label, chip_source, False, snr),
+                kind="mean", extract=_distance_or_none,
+            )
+            for offset, label in enumerate(("zigbee", "emulated"))
+        )
+        points.append(PointSpec(
+            key=f"snr{snr:g}", streams=streams, meta={"snr_db": snr},
+        ))
+    return SweepPlan(points=tuple(points), rng_slots=2 * len(snrs))
+
+
+def _context(
+    config: Mapping[str, Any], base: np.random.Generator
+) -> Dict[str, Any]:
+    return {
+        "zigbee": prepare_authentic(),
+        "emulated": prepare_emulated(rng=base),
+        "receiver": resolve_receiver(config, "defense"),
+        "channel_factory": resolve_channel_factory(config),
+    }
+
+
+def _columns(config: Mapping[str, Any], adaptive: bool) -> List[str]:
+    columns = [
+        "snr_db", "zigbee_de2", "emulated_de2",
+        "paper_zigbee_de2", "paper_emulated_de2", "separation_factor",
+    ]
+    if adaptive:
+        columns.append("trials_used")
+    return columns
+
+
+def _build_rows(reduction: SweepReduction) -> None:
+    for point in reduction.plan.points:
+        snr = point.meta["snr_db"]
+        means: Dict[str, float] = {}
+        trials_used = 0
+        for label in ("zigbee", "emulated"):
+            payload = reduction.payloads[f"snr{snr:g}.{label}"]
+            means[label] = mean_or_nan(
+                [float(value) for value in payload["values"]]
+            )
+            if reduction.adaptive:
+                trials_used += int(payload["trials_used"])
+        paper = PAPER_TABLE4.get(int(snr), (float("nan"), float("nan")))
+        row = {
+            "snr_db": snr,
+            "zigbee_de2": means["zigbee"],
+            "emulated_de2": means["emulated"],
+            "paper_zigbee_de2": paper[0],
+            "paper_emulated_de2": paper[1],
+            "separation_factor": (
+                means["emulated"] / means["zigbee"]
+                if means["zigbee"] else float("nan")
+            ),
+        }
+        if reduction.adaptive:
+            row["trials_used"] = trials_used
+        reduction.result.add_row(**row)
+
+
+def _notes(config: Mapping[str, Any]) -> List[str]:
+    return [
+        f"defense chip source: {config['chip_source']}; absolute D_E^2 is "
+        "smaller than the paper's (cleaner receiver front end) but the "
+        "class gap and trends reproduce"
+    ]
+
+
+SPEC = SweepSpec(
+    experiment_id="table4",
+    title="Table IV: averaged Euclidean distance square (D_E^2)",
+    defaults={
+        "snrs_db": (7, 12, 17),
+        "waveforms_per_point": 50,
+        "chip_source": "quadrature",
+    },
+    fingerprint=_fingerprint,
+    plan=_plan,
+    context=_context,
+    columns=_columns,
+    checkpoint_unit="stream",
+    build_rows=_build_rows,
+    detector=resolve_detector,
+    notes=_notes,
+    scenario=ScenarioSupport(
+        axes=("snrs_db", "waveforms_per_point", "chip_source"),
+        channel="snr",
+        receiver=True,
+        detector=True,
+    ),
+)
 
 
 def run(
@@ -52,149 +174,24 @@ def run(
     rel_precision: float = DEFAULT_REL_PRECISION,
     max_trials: Optional[int] = None,
 ) -> ExperimentResult:
-    """Average D_E^2 per class per SNR.
+    """Average D_E^2 per class per SNR (paper: 50 waveforms per cell).
 
-    Args:
-        snrs_db: SNR grid (paper: 7, 12, 17 dB).
-        waveforms_per_point: waveforms averaged per cell (paper: 50).
-        chip_source: defense chip tap (see ``defense_common``).
-        rng: noise randomness.
-        workers: Monte Carlo engine worker processes (default: serial).
-        chunk_size: trials per engine dispatch (default: derived).
-        on_error: engine trial-failure policy (``raise``/``retry``/``skip``).
-        checkpoint_dir: persist each completed (SNR, class) point.
-        resume: skip points already completed under ``checkpoint_dir``.
-        batch: run trials through the vectorized batched receive chain
-            (bit-identical to the scalar path at the same seed).
-        adaptive: stop each (SNR, class) point once its mean-D_E^2
-            Welford CI reaches the target relative half-width,
-            reallocating saved waveforms to unconverged points; rows
-            gain ``trials_used`` (summed over the two classes).
-        rel_precision: adaptive target relative CI half-width.
-        max_trials: adaptive hard per-point cap (default
-            ``4 * waveforms_per_point``).
+    ``chip_source`` selects the defense chip tap (see
+    ``defense_common``).  The engine knobs follow the standard
+    :func:`repro.experiments.sweep.run_sweep` contract; ``adaptive``
+    stops each (SNR, class) point at its mean-D_E^2 Welford-CI
+    precision target and rows gain ``trials_used`` (summed over the
+    two classes).
     """
-    snrs = list(snrs_db)
-    adaptive_config = (
-        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
-        if adaptive else None
+    return run_sweep(
+        SPEC,
+        overrides={
+            "snrs_db": tuple(snrs_db),
+            "waveforms_per_point": waveforms_per_point,
+            "chip_source": chip_source,
+        },
+        rng=rng, workers=workers, chunk_size=chunk_size, on_error=on_error,
+        checkpoint_dir=checkpoint_dir, resume=resume, batch=batch,
+        adaptive=adaptive, rel_precision=rel_precision,
+        max_trials=max_trials,
     )
-    fingerprint: Dict[str, Any] = {
-        "seed": rng if isinstance(rng, int) else None,
-        "waveforms_per_point": waveforms_per_point,
-        "snrs_db": [float(snr) for snr in snrs],
-        "chip_source": chip_source,
-    }
-    if adaptive_config is not None:
-        fingerprint["adaptive"] = adaptive_config.fingerprint()
-    store = open_checkpoint_store(
-        checkpoint_dir, "table4", fingerprint=fingerprint, resume=resume
-    )
-    base = ensure_rng(rng)
-    rngs = spawn_rngs(base, 2 * len(snrs))
-    context = {
-        "zigbee": prepare_authentic(),
-        "emulated": prepare_emulated(rng=base),
-        "receiver": defense_receiver(),
-        "detector": CumulantDetector(),
-    }
-    columns = [
-        "snr_db", "zigbee_de2", "emulated_de2",
-        "paper_zigbee_de2", "paper_emulated_de2", "separation_factor",
-    ]
-    if adaptive:
-        columns.append("trials_used")
-    result = ExperimentResult(
-        experiment_id="table4",
-        title="Table IV: averaged Euclidean distance square (D_E^2)",
-        columns=columns,
-    )
-    engine = MonteCarloEngine(
-        workers=workers, chunk_size=chunk_size, on_error=on_error
-    )
-    pending = [
-        key
-        for snr in snrs
-        for key in (f"snr{snr:g}.zigbee", f"snr{snr:g}.emulated")
-        if store is None or not store.completed(key)
-    ]
-    stream = get_event_stream()
-    stream.declare_trials(waveforms_per_point * len(pending))
-    with engine.session(context) as session:
-        if adaptive_config is not None:
-            sweep = AdaptiveSweep(
-                session, waveforms_per_point, config=adaptive_config,
-                experiment="table4",
-            )
-            states = {}
-            for i, snr in enumerate(snrs):
-                for offset, label in enumerate(("zigbee", "emulated")):
-                    key = f"snr{snr:g}.{label}"
-                    if store is not None and store.completed(key):
-                        continue
-                    stream.point_started("table4", key,
-                                         trials=waveforms_per_point)
-                    states[key] = register_distance_point(
-                        sweep, label, snr, rng=rngs[2 * i + offset],
-                        chip_source=chip_source, key=key, batch=batch,
-                    )
-            sweep.settle()
-            for snr in snrs:
-                means = {}
-                trials_used = 0
-                for label in ("zigbee", "emulated"):
-                    key = f"snr{snr:g}.{label}"
-                    payload = store.get(key) if store is not None else None
-                    if payload is None:
-                        payload = settle_distance_point(
-                            states[key], store=store, key=key
-                        )
-                        stream.point_finished(
-                            "table4", key, rows_so_far=len(result.rows)
-                        )
-                    means[label] = mean_or_nan(payload["values"])
-                    trials_used += int(payload["trials_used"])
-                paper = PAPER_TABLE4.get(
-                    int(snr), (float("nan"), float("nan"))
-                )
-                result.add_row(
-                    snr_db=snr,
-                    zigbee_de2=means["zigbee"],
-                    emulated_de2=means["emulated"],
-                    paper_zigbee_de2=paper[0],
-                    paper_emulated_de2=paper[1],
-                    separation_factor=(
-                        means["emulated"] / means["zigbee"]
-                        if means["zigbee"] else float("nan")
-                    ),
-                    trials_used=trials_used,
-                )
-        else:
-            for i, snr in enumerate(snrs):
-                zigbee_values = collect_distances(
-                    session, "zigbee", snr, waveforms_per_point,
-                    rng=rngs[2 * i], chip_source=chip_source,
-                    store=store, key=f"snr{snr:g}.zigbee", batch=batch,
-                )
-                emulated_values = collect_distances(
-                    session, "emulated", snr, waveforms_per_point,
-                    rng=rngs[2 * i + 1], chip_source=chip_source,
-                    store=store, key=f"snr{snr:g}.emulated", batch=batch,
-                )
-                zigbee_mean = mean_or_nan(zigbee_values)
-                emulated_mean = mean_or_nan(emulated_values)
-                paper = PAPER_TABLE4.get(int(snr), (float("nan"), float("nan")))
-                result.add_row(
-                    snr_db=snr,
-                    zigbee_de2=zigbee_mean,
-                    emulated_de2=emulated_mean,
-                    paper_zigbee_de2=paper[0],
-                    paper_emulated_de2=paper[1],
-                    separation_factor=emulated_mean / zigbee_mean if zigbee_mean else float("nan"),
-                )
-    result.notes.append(
-        f"defense chip source: {chip_source}; absolute D_E^2 is smaller than "
-        "the paper's (cleaner receiver front end) but the class gap and "
-        "trends reproduce"
-    )
-    return result

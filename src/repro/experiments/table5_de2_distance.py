@@ -16,19 +16,13 @@ sweep with results bit-identical to the serial run at the same seed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.environment import RealEnvironment
-from repro.defense.detector import CumulantDetector
+from repro.channel.pathloss import LinkBudget
 from repro.errors import SynchronizationError
-from repro.experiments.adaptive import (
-    DEFAULT_REL_PRECISION,
-    AdaptiveConfig,
-    AdaptiveSweep,
-)
-from repro.experiments.checkpoint import open_checkpoint_store
+from repro.experiments.adaptive import DEFAULT_REL_PRECISION
 from repro.experiments.common import (
     ExperimentResult,
     prepare_authentic,
@@ -36,13 +30,22 @@ from repro.experiments.common import (
 )
 from repro.experiments.defense_common import (
     chip_noise_variance_for,
-    defense_receiver,
     extract_chips,
     mean_or_nan,
 )
-from repro.experiments.engine import MonteCarloEngine
-from repro.telemetry.events import get_event_stream
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.experiments.sweep import (
+    PointReduction,
+    PointSpec,
+    ScenarioSupport,
+    StreamSpec,
+    SweepPlan,
+    SweepSpec,
+    resolve_detector,
+    resolve_environment,
+    resolve_receiver,
+    run_sweep,
+)
+from repro.utils.rng import RngLike
 
 PAPER_TABLE5 = {
     1: (0.0004, 1.1426),
@@ -87,6 +90,136 @@ def _de2_value(value: Optional[float]) -> Optional[float]:
     return value
 
 
+def _fingerprint(config: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "waveforms_per_point": config["waveforms_per_point"],
+        "distances_m": [float(d) for d in config["distances_m"]],
+        "chip_source": config["chip_source"],
+        "noise_corrected": config["noise_corrected"],
+    }
+
+
+def _plan(config: Mapping[str, Any]) -> SweepPlan:
+    distances = list(config["distances_m"])
+    per_point = config["waveforms_per_point"]
+    points = []
+    for i, distance in enumerate(distances):
+        key = f"d{distance:g}"
+        streams = tuple(
+            StreamSpec(
+                key=f"{key}.{label}", rng_slot=2 * i + j, budget=per_point,
+                trial=_distance_trial,
+                static_args=(label, distance, config["chip_source"],
+                             config["noise_corrected"]),
+                kind="mean", extract=_de2_value,
+            )
+            for j, label in enumerate(("zigbee", "emulated"))
+        )
+        points.append(PointSpec(
+            key=key, streams=streams, started_trials=2 * per_point,
+            meta={"distance_m": distance},
+        ))
+    return SweepPlan(points=tuple(points), rng_slots=2 * len(distances))
+
+
+def _context(
+    config: Mapping[str, Any], base: np.random.Generator
+) -> Dict[str, Any]:
+    return {
+        "zigbee": prepare_authentic(),
+        "emulated": prepare_emulated(rng=base),
+        "receiver": resolve_receiver(config, "defense"),
+        "env": resolve_environment(config, rng=0),
+    }
+
+
+def _mean_budget(config: Mapping[str, Any]) -> LinkBudget:
+    # Reported SNR column uses the shadowing-free budget mean; per-trial
+    # channels still draw shadowing from their own streams.
+    return replace(
+        resolve_environment(config, rng=0).budget, shadowing_sigma_db=0.0
+    )
+
+
+def _columns(config: Mapping[str, Any], adaptive: bool) -> List[str]:
+    columns = [
+        "distance_m", "snr_db", "zigbee_de2", "emulated_de2",
+        "paper_zigbee_de2", "paper_emulated_de2",
+    ]
+    if adaptive:
+        columns.append("trials_used")
+    return columns
+
+
+def _reduce_point(reduction: PointReduction) -> Dict[str, Any]:
+    distance = reduction.point.meta["distance_m"]
+    key = reduction.point.key
+    means: Dict[str, float] = {}
+    trials_used = 0
+    for label in ("zigbee", "emulated"):
+        if reduction.adaptive:
+            outcome = reduction.outcomes[f"{key}.{label}"]
+            means[label] = mean_or_nan(
+                [v for v in outcome.results if v is not None]
+            )
+            trials_used += outcome.trials_used
+        else:
+            means[label] = mean_or_nan([
+                v for v in reduction.results[f"{key}.{label}"]
+                if v is not None
+            ])
+    paper = PAPER_TABLE5.get(int(distance), (float("nan"), float("nan")))
+    row = {
+        "distance_m": distance,
+        "snr_db": float(_mean_budget(reduction.config).snr_db(distance)),
+        "zigbee_de2": means["zigbee"],
+        "emulated_de2": means["emulated"],
+        "paper_zigbee_de2": paper[0],
+        "paper_emulated_de2": paper[1],
+    }
+    if reduction.adaptive:
+        row["trials_used"] = trials_used
+    return row
+
+
+def _notes(config: Mapping[str, Any]) -> List[str]:
+    return [
+        "detector uses |C40| (Sec. VI-C) because the real environment adds "
+        "random frequency/phase offsets"
+    ]
+
+
+def _detector(config: Mapping[str, Any]) -> Any:
+    return resolve_detector(config, use_abs_c40=True)
+
+
+SPEC = SweepSpec(
+    experiment_id="table5",
+    title="Table V: averaged D_E^2 vs distance (real environment)",
+    defaults={
+        "distances_m": (1, 2, 3, 4, 5, 6),
+        "waveforms_per_point": 30,
+        "chip_source": "matched_filter",
+        "noise_corrected": True,
+    },
+    fingerprint=_fingerprint,
+    plan=_plan,
+    context=_context,
+    columns=_columns,
+    checkpoint_unit="point",
+    reduce_point=_reduce_point,
+    detector=_detector,
+    notes=_notes,
+    scenario=ScenarioSupport(
+        axes=("distances_m", "waveforms_per_point", "chip_source",
+              "noise_corrected"),
+        channel="environment",
+        receiver=True,
+        detector=True,
+    ),
+)
+
+
 def run(
     distances_m: Sequence[float] = (1, 2, 3, 4, 5, 6),
     waveforms_per_point: int = 30,
@@ -115,139 +248,16 @@ def run(
     Welford CI reaches ``rel_precision`` relative half-width (cap
     ``max_trials``, default 4x), adding ``trials_used`` to each row.
     """
-    distances = list(distances_m)
-    adaptive_config = (
-        AdaptiveConfig(rel_precision=rel_precision, max_trials=max_trials)
-        if adaptive else None
+    return run_sweep(
+        SPEC,
+        overrides={
+            "distances_m": tuple(distances_m),
+            "waveforms_per_point": waveforms_per_point,
+            "chip_source": chip_source,
+            "noise_corrected": noise_corrected,
+        },
+        rng=rng, workers=workers, chunk_size=chunk_size, on_error=on_error,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+        adaptive=adaptive, rel_precision=rel_precision,
+        max_trials=max_trials,
     )
-    fingerprint: Dict[str, Any] = {
-        "seed": rng if isinstance(rng, int) else None,
-        "waveforms_per_point": waveforms_per_point,
-        "distances_m": [float(d) for d in distances],
-        "chip_source": chip_source,
-        "noise_corrected": noise_corrected,
-    }
-    if adaptive_config is not None:
-        fingerprint["adaptive"] = adaptive_config.fingerprint()
-    store = open_checkpoint_store(
-        checkpoint_dir, "table5", fingerprint=fingerprint, resume=resume
-    )
-    base = ensure_rng(rng)
-    rngs = spawn_rngs(base, 2 * len(distances))
-    env = RealEnvironment(rng=0)
-    context = {
-        "zigbee": prepare_authentic(),
-        "emulated": prepare_emulated(rng=base),
-        "receiver": defense_receiver(),
-        "detector": CumulantDetector(use_abs_c40=True),
-        "env": env,
-    }
-    columns = [
-        "distance_m", "snr_db", "zigbee_de2", "emulated_de2",
-        "paper_zigbee_de2", "paper_emulated_de2",
-    ]
-    if adaptive:
-        columns.append("trials_used")
-    result = ExperimentResult(
-        experiment_id="table5",
-        title="Table V: averaged D_E^2 vs distance (real environment)",
-        columns=columns,
-    )
-    # Reported SNR column uses the shadowing-free budget mean; per-trial
-    # channels still draw shadowing from their own streams.
-    mean_budget = replace(env.budget, shadowing_sigma_db=0.0)
-    engine = MonteCarloEngine(
-        workers=workers, chunk_size=chunk_size, on_error=on_error
-    )
-    stream = get_event_stream()
-    pending = [
-        d for d in distances
-        if store is None or not store.completed(f"d{d:g}")
-    ]
-    stream.declare_trials(2 * waveforms_per_point * len(pending))
-    with engine.session(context) as session:
-        if adaptive_config is not None:
-            sweep = AdaptiveSweep(
-                session, waveforms_per_point, config=adaptive_config,
-                experiment="table5",
-            )
-            states = {}
-            for i, distance in enumerate(distances):
-                point_key = f"d{distance:g}"
-                if store is not None and store.completed(point_key):
-                    continue
-                stream.point_started("table5", point_key,
-                                     trials=2 * waveforms_per_point)
-                for j, label in enumerate(("zigbee", "emulated")):
-                    states[(point_key, label)] = sweep.point(
-                        _distance_trial, rng=rngs[2 * i + j],
-                        static_args=(label, distance, chip_source,
-                                     noise_corrected),
-                        estimator=sweep.mean_estimator(),
-                        extract=_de2_value, key=f"{point_key}.{label}",
-                    )
-            sweep.settle()
-            for distance in distances:
-                point_key = f"d{distance:g}"
-                row = store.get(point_key) if store is not None else None
-                if row is None:
-                    means = {}
-                    trials_used = 0
-                    for label in ("zigbee", "emulated"):
-                        outcome = states[(point_key, label)].outcome()
-                        means[label] = mean_or_nan(
-                            [v for v in outcome.results if v is not None]
-                        )
-                        trials_used += outcome.trials_used
-                    paper = PAPER_TABLE5.get(
-                        int(distance), (float("nan"), float("nan"))
-                    )
-                    row = {
-                        "distance_m": distance,
-                        "snr_db": float(mean_budget.snr_db(distance)),
-                        "zigbee_de2": means["zigbee"],
-                        "emulated_de2": means["emulated"],
-                        "paper_zigbee_de2": paper[0],
-                        "paper_emulated_de2": paper[1],
-                        "trials_used": trials_used,
-                    }
-                    if store is not None:
-                        store.save(point_key, row)
-                    stream.point_finished("table5", point_key,
-                                          rows_so_far=len(result.rows) + 1)
-                result.add_row(**row)
-        else:
-            for i, distance in enumerate(distances):
-                point_key = f"d{distance:g}"
-                row = store.get(point_key) if store is not None else None
-                if row is None:
-                    stream.point_started("table5", point_key,
-                                         trials=2 * waveforms_per_point)
-                    values = {}
-                    for j, label in enumerate(("zigbee", "emulated")):
-                        outcomes = session.run(
-                            _distance_trial,
-                            waveforms_per_point,
-                            rng=rngs[2 * i + j],
-                            static_args=(label, distance, chip_source, noise_corrected),
-                        )
-                        values[label] = [v for v in outcomes if v is not None]
-                    paper = PAPER_TABLE5.get(int(distance), (float("nan"), float("nan")))
-                    row = {
-                        "distance_m": distance,
-                        "snr_db": float(mean_budget.snr_db(distance)),
-                        "zigbee_de2": mean_or_nan(values["zigbee"]),
-                        "emulated_de2": mean_or_nan(values["emulated"]),
-                        "paper_zigbee_de2": paper[0],
-                        "paper_emulated_de2": paper[1],
-                    }
-                    if store is not None:
-                        store.save(point_key, row)
-                    stream.point_finished("table5", point_key,
-                                          rows_so_far=len(result.rows) + 1)
-                result.add_row(**row)
-    result.notes.append(
-        "detector uses |C40| (Sec. VI-C) because the real environment adds "
-        "random frequency/phase offsets"
-    )
-    return result

@@ -428,6 +428,68 @@ class TestR007NoDirectOutput:
         ) == set()
 
 
+class TestR012NoDirectEngineWiring:
+    def test_import_fires_in_driver_modules(self):
+        assert "R012" in codes(
+            """
+            from repro.experiments.engine import MonteCarloEngine
+            """
+        )
+        assert "R012" in codes(
+            """
+            from repro.experiments.checkpoint import open_checkpoint_store
+            """
+        )
+        assert "R012" in codes(
+            """
+            from repro.experiments.adaptive import AdaptiveSweep
+            """
+        )
+
+    def test_attribute_access_fires(self):
+        assert "R012" in codes(
+            """
+            from repro.experiments import engine
+
+            def build():
+                return engine.MonteCarloEngine()
+            """
+        )
+
+    def test_blessed_homes_are_exempt(self):
+        snippet = """
+            from repro.experiments.engine import MonteCarloEngine
+
+            def build():
+                return MonteCarloEngine()
+        """
+        for home in (
+            "src/repro/experiments/sweep.py",
+            "src/repro/experiments/engine.py",
+            "src/repro/experiments/checkpoint.py",
+            "src/repro/experiments/adaptive.py",
+            "src/repro/experiments/bench.py",
+            "src/repro/experiments/__init__.py",
+        ):
+            assert codes(snippet, filename=home) == set()
+
+    def test_tests_are_exempt(self):
+        assert codes(
+            "from repro.experiments.engine import MonteCarloEngine\n",
+            filename=TEST,
+        ) == set()
+
+    def test_spec_based_drivers_stay_silent(self):
+        assert codes(
+            """
+            from repro.experiments.sweep import SweepSpec, run_sweep
+
+            def run(rng=None):
+                return run_sweep(SPEC, rng=rng)
+            """
+        ) == set()
+
+
 class TestSuppression:
     def test_same_line_disable(self):
         assert codes("import random  # reprolint: disable=R001\n") == set()
@@ -564,7 +626,8 @@ class TestCliAndSelfCheck:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
+                     "R012"):
             assert code in out
 
     def test_violations_exit_1_with_text_report(self, tmp_path, capsys):
